@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench repro repro-quick examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every experiment of EXPERIMENTS.md (full sweeps; minutes).
+repro:
+	$(GO) run ./cmd/benchkw
+
+repro-quick:
+	$(GO) run ./cmd/benchkw -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/hotels
+	$(GO) run ./examples/temporal
+	$(GO) run ./examples/geosearch
+	$(GO) run ./examples/inventory
+
+clean:
+	$(GO) clean ./...

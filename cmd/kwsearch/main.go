@@ -1,0 +1,171 @@
+// Command kwsearch is an interactive demo over a generated hotel catalog:
+// it builds every index of the library on the same dataset and answers
+// queries typed on stdin.
+//
+// Usage:
+//
+//	kwsearch [-n objects] [-seed n]
+//
+// Commands (keywords are integer ids; 'help' lists everything):
+//
+//	range x1 x2 y1 y2 w1 w2      ORP-KW: rectangle + 2 keywords
+//	near x y t w1 w2             L∞NN-KW: t nearest + 2 keywords
+//	ball x y r w1 w2             SRP-KW: radius + 2 keywords
+//	line a b c w1 w2             LC-KW: a*x + b*y <= c + 2 keywords
+//	isect w1 w2                  k-SI: pure keyword intersection
+//	stats                        dataset and index statistics
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"kwsc"
+	"kwsc/internal/workload"
+)
+
+var (
+	flagN    = flag.Int("n", 20000, "number of objects in the generated catalog")
+	flagSeed = flag.Int64("seed", 1, "generator seed")
+)
+
+func main() {
+	flag.Parse()
+	fmt.Printf("generating %d objects...\n", *flagN)
+	ds := workload.Gen(workload.Config{
+		Seed: *flagSeed, Objects: *flagN, Dim: 2, Vocab: 64, DocLen: 5,
+	})
+	fmt.Printf("building indexes (N=%d, W=%d)...\n", ds.N(), ds.W())
+	orp, err := kwsc.NewORPKW(ds, 2)
+	fatal(err)
+	nn, err := kwsc.NewLinfNN(ds, 2)
+	fatal(err)
+	srp, err := kwsc.NewSRPKW(ds, 2)
+	fatal(err)
+	lc, err := kwsc.NewLCKW(ds, kwsc.LCKWConfig{K: 2})
+	fatal(err)
+	ksi, err := kwsc.NewKSIFromDataset(ds, 2)
+	fatal(err)
+	fmt.Println("ready; type 'help' for commands, coordinates are in [0,1)")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "help":
+			fmt.Println("range x1 x2 y1 y2 w1 w2 | near x y t w1 w2 | ball x y r w1 w2")
+			fmt.Println("line a b c w1 w2 | isect w1 w2 | stats | quit")
+		case "quit", "exit":
+			return
+		case "stats":
+			sp := orp.Space()
+			fmt.Printf("objects=%d N=%d W=%d dim=%d\n", ds.Len(), ds.N(), ds.W(), ds.Dim())
+			fmt.Printf("ORP-KW: %d nodes, %d words, height %d\n",
+				orp.Framework().NumNodes(), sp.TotalWords(64), orp.Framework().Height())
+		case "range":
+			args, ok := floats(fields[1:], 6)
+			if !ok {
+				continue
+			}
+			q := kwsc.NewRect([]float64{args[0], args[2]}, []float64{args[1], args[3]})
+			ids, st, err := orp.Collect(q, kws(args[4], args[5]), kwsc.QueryOpts{})
+			report(ids, st.Ops, err)
+		case "near":
+			args, ok := floats(fields[1:], 5)
+			if !ok {
+				continue
+			}
+			res, ns, err := nn.Query(kwsc.Point{args[0], args[1]}, int(args[2]), kws(args[3], args[4]))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, r := range res {
+				p := ds.Point(r.ID)
+				fmt.Printf("  #%d at (%.3f, %.3f) dist %.4f\n", r.ID, p[0], p[1], r.Dist)
+			}
+			fmt.Printf("  (%d probes)\n", ns.Probes)
+		case "ball":
+			args, ok := floats(fields[1:], 5)
+			if !ok {
+				continue
+			}
+			s := kwsc.NewSphere(kwsc.Point{args[0], args[1]}, args[2])
+			ids, st, err := srp.Collect(s, kws(args[3], args[4]), kwsc.QueryOpts{})
+			report(ids, st.Ops, err)
+		case "line":
+			args, ok := floats(fields[1:], 5)
+			if !ok {
+				continue
+			}
+			hs := []kwsc.Halfspace{{Coef: []float64{args[0], args[1]}, Bound: args[2]}}
+			var ids []int32
+			st, err := lc.QueryConstraints(hs, kws(args[3], args[4]), kwsc.QueryOpts{},
+				func(id int32) { ids = append(ids, id) })
+			report(ids, st.Ops, err)
+		case "isect":
+			args, ok := floats(fields[1:], 2)
+			if !ok {
+				continue
+			}
+			ids, st, err := ksi.Report(kws(args[0], args[1]), kwsc.QueryOpts{})
+			report(ids, st.Ops, err)
+		default:
+			fmt.Println("unknown command; type 'help'")
+		}
+	}
+}
+
+func kws(a, b float64) []kwsc.Keyword {
+	return []kwsc.Keyword{kwsc.Keyword(a), kwsc.Keyword(b)}
+}
+
+func floats(fields []string, want int) ([]float64, bool) {
+	if len(fields) != want {
+		fmt.Printf("expected %d arguments, got %d\n", want, len(fields))
+		return nil, false
+	}
+	out := make([]float64, want)
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			fmt.Println("bad number:", f)
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}
+
+func report(ids []int32, ops int64, err error) {
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("  %d results (%d work units)", len(ids), ops)
+	if len(ids) > 0 {
+		fmt.Printf("; first ids: ")
+		for i, id := range ids {
+			if i == 8 {
+				fmt.Print("...")
+				break
+			}
+			fmt.Printf("%d ", id)
+		}
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kwsearch:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module kwsc
+
+go 1.22

@@ -1,0 +1,193 @@
+// Package bitpack implements the word-parallel one-dimensional ORP-KW index
+// of the literature line the paper reviews in Section 2 (Bille-Pagh-Pagh /
+// Goodrich): intersect the query keywords' posting sets in O(N/w)-flavored
+// time by AND-ing per-keyword position bitmaps, where w is the machine word
+// length. It trades the paper's O(N^{1-1/k}) OUT-insensitive bound for a
+// bound of the form O(n k / w + OUT) that is excellent when the lists are
+// dense, and serves as the third route in the d=1 ablation (A3 in
+// DESIGN.md).
+//
+// Unlike the framework indexes, the query arity k is not fixed at build
+// time: any number of keywords >= 1 is accepted.
+package bitpack
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"kwsc/internal/dataset"
+)
+
+// Index is a 1D range + keywords index over a dataset with 1-dimensional
+// points.
+type Index struct {
+	ds     *dataset.Dataset
+	order  []int32   // object ids sorted by coordinate (ties by id)
+	coords []float64 // coordinates in sorted order
+	pos    []int32   // object id -> sorted position
+
+	dense     map[dataset.Keyword][]uint64 // position bitmaps (n bits)
+	sparse    map[dataset.Keyword][]int32  // sorted position lists
+	threshold int
+}
+
+// Build constructs the index; the dataset must be 1-dimensional.
+func Build(ds *dataset.Dataset) (*Index, error) {
+	if ds.Dim() != 1 {
+		return nil, fmt.Errorf("bitpack: 1-dimensional datasets only, got d=%d", ds.Dim())
+	}
+	n := ds.Len()
+	ix := &Index{
+		ds:        ds,
+		order:     make([]int32, n),
+		coords:    make([]float64, n),
+		pos:       make([]int32, n),
+		dense:     make(map[dataset.Keyword][]uint64),
+		sparse:    make(map[dataset.Keyword][]int32),
+		threshold: n/64 + 1,
+	}
+	for i := range ix.order {
+		ix.order[i] = int32(i)
+	}
+	sort.Slice(ix.order, func(a, b int) bool {
+		pa, pb := ds.Point(ix.order[a])[0], ds.Point(ix.order[b])[0]
+		if pa != pb {
+			return pa < pb
+		}
+		return ix.order[a] < ix.order[b]
+	})
+	for p, id := range ix.order {
+		ix.coords[p] = ds.Point(id)[0]
+		ix.pos[id] = int32(p)
+	}
+	// Posting positions per keyword.
+	postings := make(map[dataset.Keyword][]int32)
+	for p, id := range ix.order {
+		for _, w := range ds.Doc(id) {
+			postings[w] = append(postings[w], int32(p))
+		}
+	}
+	words := (n + 63) / 64
+	for w, lst := range postings {
+		if len(lst) >= ix.threshold {
+			bm := make([]uint64, words)
+			for _, p := range lst {
+				bm[p>>6] |= 1 << (uint(p) & 63)
+			}
+			ix.dense[w] = bm
+		} else {
+			ix.sparse[w] = lst // already sorted: built in position order
+		}
+	}
+	return ix, nil
+}
+
+// Stats instruments one query.
+type Stats struct {
+	WordOps  int64 // 64-bit AND/мask operations
+	ListOps  int64 // sparse-list entries examined
+	Reported int
+}
+
+// Query reports the ids of all objects with coordinate in [lo, hi] whose
+// documents contain every keyword in ws (ws must be non-empty and
+// duplicate-free).
+func (ix *Index) Query(lo, hi float64, ws []dataset.Keyword, report func(int32)) (Stats, error) {
+	var st Stats
+	if len(ws) == 0 {
+		return st, fmt.Errorf("bitpack: at least one keyword required")
+	}
+	seen := make(map[dataset.Keyword]struct{}, len(ws))
+	for _, w := range ws {
+		if _, dup := seen[w]; dup {
+			return st, fmt.Errorf("bitpack: duplicate keyword %d", w)
+		}
+		seen[w] = struct{}{}
+	}
+	n := len(ix.order)
+	from := sort.SearchFloat64s(ix.coords, lo)
+	to := sort.Search(n, func(p int) bool { return ix.coords[p] > hi }) // exclusive
+	if from >= to {
+		return st, nil
+	}
+	// Choose the cheapest route: the sparsest sparse list, if any.
+	var bestSparse []int32
+	hasSparse := false
+	for _, w := range ws {
+		if lst, ok := ix.sparse[w]; ok {
+			if !hasSparse || len(lst) < len(bestSparse) {
+				bestSparse, hasSparse = lst, true
+			}
+		} else if _, ok := ix.dense[w]; !ok {
+			return st, nil // keyword absent entirely
+		}
+	}
+	if hasSparse {
+		start := sort.Search(len(bestSparse), func(i int) bool { return int(bestSparse[i]) >= from })
+		for _, p := range bestSparse[start:] {
+			if int(p) >= to {
+				break
+			}
+			st.ListOps++
+			id := ix.order[p]
+			if ix.ds.HasAll(id, ws) {
+				report(id)
+				st.Reported++
+			}
+		}
+		return st, nil
+	}
+	// All dense: word-parallel AND over the position window.
+	bms := make([][]uint64, len(ws))
+	for i, w := range ws {
+		bms[i] = ix.dense[w]
+	}
+	firstWord, lastWord := from>>6, (to-1)>>6
+	for wi := firstWord; wi <= lastWord; wi++ {
+		acc := ^uint64(0)
+		for _, bm := range bms {
+			acc &= bm[wi]
+			st.WordOps++
+		}
+		if wi == firstWord {
+			acc &= ^uint64(0) << (uint(from) & 63)
+		}
+		if wi == lastWord {
+			rem := uint(to-1)&63 + 1
+			if rem < 64 {
+				acc &= (1 << rem) - 1
+			}
+		}
+		for acc != 0 {
+			b := bits.TrailingZeros64(acc)
+			acc &= acc - 1
+			report(ix.order[wi<<6+b])
+			st.Reported++
+		}
+	}
+	return st, nil
+}
+
+// Collect is Query returning a slice.
+func (ix *Index) Collect(lo, hi float64, ws []dataset.Keyword) ([]int32, Stats, error) {
+	var out []int32
+	st, err := ix.Query(lo, hi, ws, func(id int32) { out = append(out, id) })
+	return out, st, err
+}
+
+// SpaceWords audits the structure: bitmaps, sparse lists, order arrays.
+func (ix *Index) SpaceWords() int64 {
+	var s int64
+	s += int64(len(ix.order))/2 + int64(len(ix.coords)) + int64(len(ix.pos))/2
+	for _, bm := range ix.dense {
+		s += int64(len(bm))
+	}
+	for _, lst := range ix.sparse {
+		s += int64(len(lst))/2 + 1
+	}
+	return s
+}
+
+// DenseKeywords returns how many keywords carry bitmaps.
+func (ix *Index) DenseKeywords() int { return len(ix.dense) }

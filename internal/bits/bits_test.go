@@ -1,0 +1,155 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBasic(t *testing.T) {
+	d := NewDense(130)
+	if d.Len() != 130 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 129} {
+		if d.Get(i) {
+			t.Fatalf("bit %d set in fresh bitset", i)
+		}
+		d.Set(i)
+		if !d.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if c := d.Count(); c != 6 {
+		t.Fatalf("Count = %d, want 6", c)
+	}
+	if d.SpaceBits() != 192 { // 3 words
+		t.Fatalf("SpaceBits = %d, want 192", d.SpaceBits())
+	}
+}
+
+func TestDenseSetIdempotent(t *testing.T) {
+	d := NewDense(10)
+	d.Set(5)
+	d.Set(5)
+	if d.Count() != 1 {
+		t.Fatal("double Set must not double count")
+	}
+}
+
+func TestDenseZeroLength(t *testing.T) {
+	d := NewDense(0)
+	if d.Count() != 0 || d.Len() != 0 {
+		t.Fatal("zero-length bitset misbehaves")
+	}
+}
+
+func TestU32SetBasic(t *testing.T) {
+	s := NewU32Set([]uint32{5, 7, 7, 9})
+	if s.Size() != 3 {
+		t.Fatalf("Size = %d, want 3 (duplicates collapse)", s.Size())
+	}
+	for _, k := range []uint32{5, 7, 9} {
+		if !s.Contains(k) {
+			t.Fatalf("missing key %d", k)
+		}
+	}
+	for _, k := range []uint32{0, 1, 6, 8, 1 << 30} {
+		if s.Contains(k) {
+			t.Fatalf("phantom key %d", k)
+		}
+	}
+}
+
+func TestU32SetZeroKey(t *testing.T) {
+	s := NewU32Set([]uint32{0, 3})
+	if !s.Contains(0) {
+		t.Fatal("zero key lost")
+	}
+	if s.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", s.Size())
+	}
+	s2 := NewU32Set([]uint32{3})
+	if s2.Contains(0) {
+		t.Fatal("phantom zero key")
+	}
+}
+
+func TestU32SetEmpty(t *testing.T) {
+	s := NewU32Set(nil)
+	if s.Size() != 0 || s.Contains(0) || s.Contains(42) {
+		t.Fatal("empty set misbehaves")
+	}
+}
+
+func TestU32SetCollisionHeavy(t *testing.T) {
+	// Sequential keys stress the probe chain.
+	keys := make([]uint32, 1000)
+	for i := range keys {
+		keys[i] = uint32(i * 2)
+	}
+	s := NewU32Set(keys)
+	for i := 0; i < 2000; i++ {
+		want := i%2 == 0
+		if got := s.Contains(uint32(i)); got != want {
+			t.Fatalf("Contains(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestU32SetSpaceWords(t *testing.T) {
+	s := NewU32Set([]uint32{1, 2, 3})
+	if s.SpaceWords() <= 0 {
+		t.Fatal("SpaceWords must be positive")
+	}
+}
+
+// Property: a U32Set agrees with a reference map for arbitrary key sets.
+func TestU32SetAgainstMapProperty(t *testing.T) {
+	f := func(keys []uint32, probes []uint32) bool {
+		ref := make(map[uint32]bool, len(keys))
+		for _, k := range keys {
+			ref[k] = true
+		}
+		s := NewU32Set(keys)
+		if s.Size() != len(ref) {
+			return false
+		}
+		for _, p := range probes {
+			if s.Contains(p) != ref[p] {
+				return false
+			}
+		}
+		for _, k := range keys {
+			if !s.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dense agrees with a reference map under random set/get.
+func TestDenseAgainstMapProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		d := NewDense(n)
+		ref := make(map[int]bool)
+		for op := 0; op < 200; op++ {
+			i := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				d.Set(i)
+				ref[i] = true
+			} else if d.Get(i) != ref[i] {
+				t.Fatalf("trial %d: Get(%d) mismatch", trial, i)
+			}
+		}
+		if d.Count() != len(ref) {
+			t.Fatalf("trial %d: Count = %d, want %d", trial, d.Count(), len(ref))
+		}
+	}
+}

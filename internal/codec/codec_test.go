@@ -1,0 +1,166 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+	"kwsc/internal/workload"
+)
+
+func roundTrip(t *testing.T, ds *dataset.Dataset) *dataset.Dataset {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func assertEqualDatasets(t *testing.T, a, b *dataset.Dataset) {
+	t.Helper()
+	if a.Len() != b.Len() || a.Dim() != b.Dim() || a.N() != b.N() || a.W() != b.W() {
+		t.Fatalf("shape mismatch: (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+			a.Len(), a.Dim(), a.N(), a.W(), b.Len(), b.Dim(), b.N(), b.W())
+	}
+	for i := 0; i < a.Len(); i++ {
+		id := int32(i)
+		if !a.Point(id).Equal(b.Point(id)) {
+			t.Fatalf("object %d point mismatch", i)
+		}
+		da, db := a.Doc(id), b.Doc(id)
+		if len(da) != len(db) {
+			t.Fatalf("object %d doc length mismatch", i)
+		}
+		for j := range da {
+			if da[j] != db[j] {
+				t.Fatalf("object %d keyword %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 1, Objects: 500, Dim: 3, Vocab: 100, DocLen: 5})
+	assertEqualDatasets(t, ds, roundTrip(t, ds))
+}
+
+func TestRoundTripSpecialValues(t *testing.T) {
+	ds := dataset.MustNew([]dataset.Object{
+		{Point: geom.Point{0, -0.0}, Doc: []dataset.Keyword{0}},
+		{Point: geom.Point{math.MaxFloat64, -math.MaxFloat64}, Doc: []dataset.Keyword{math.MaxUint32}},
+		{Point: geom.Point{math.SmallestNonzeroFloat64, 1e-300}, Doc: []dataset.Keyword{1, 2, 3}},
+	})
+	assertEqualDatasets(t, ds, roundTrip(t, ds))
+}
+
+func TestChecksumDetectsFlips(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 2, Objects: 100, Dim: 2, Vocab: 50, DocLen: 4})
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		corrupted := append([]byte(nil), raw...)
+		pos := rng.Intn(len(corrupted))
+		corrupted[pos] ^= 1 << uint(rng.Intn(8))
+		if _, err := ReadDataset(bytes.NewReader(corrupted)); err == nil {
+			t.Fatalf("trial %d: bit flip at %d undetected", trial, pos)
+		}
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 4, Objects: 50, Dim: 2, Vocab: 20, DocLen: 3})
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{0, 3, 5, len(raw) / 2, len(raw) - 1} {
+		if _, err := ReadDataset(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d undetected", cut)
+		}
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	if _, err := ReadDataset(bytes.NewReader([]byte("NOPE\x01"))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+	ds := workload.Gen(workload.Config{Seed: 5, Objects: 10, Dim: 2, Vocab: 10, DocLen: 3})
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 99 // version byte
+	if _, err := ReadDataset(bytes.NewReader(raw)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+// Property: arbitrary valid datasets survive the round trip.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func() bool {
+		n := 1 + rng.Intn(100)
+		dim := 1 + rng.Intn(4)
+		objs := make([]dataset.Object, n)
+		for i := range objs {
+			p := make(geom.Point, dim)
+			for j := range p {
+				p[j] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(20)-10))
+			}
+			doc := make([]dataset.Keyword, 1+rng.Intn(6))
+			for j := range doc {
+				doc[j] = dataset.Keyword(rng.Intn(1 << uint(1+rng.Intn(20))))
+			}
+			objs[i] = dataset.Object{Point: p, Doc: doc}
+		}
+		ds := dataset.MustNew(objs)
+		var buf bytes.Buffer
+		if err := WriteDataset(&buf, ds); err != nil {
+			return false
+		}
+		got, err := ReadDataset(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != ds.Len() || got.N() != ds.N() {
+			return false
+		}
+		for i := 0; i < ds.Len(); i++ {
+			if !got.Point(int32(i)).Equal(ds.Point(int32(i))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A persisted dataset rebuilds a working index.
+func TestPersistedDatasetIndexes(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 7, Objects: 300, Dim: 2, Vocab: 30, DocLen: 4})
+	restored := roundTrip(t, ds)
+	q := geom.NewRect([]float64{0.2, 0.2}, []float64{0.8, 0.8})
+	a := ds.Filter(q, []dataset.Keyword{0, 1})
+	b := restored.Filter(q, []dataset.Keyword{0, 1})
+	if len(a) != len(b) {
+		t.Fatalf("restored dataset answers differently: %d vs %d", len(a), len(b))
+	}
+}

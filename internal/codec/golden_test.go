@@ -1,0 +1,37 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+)
+
+// The on-disk format is a compatibility contract: this golden test pins the
+// exact bytes of version 1 so accidental format changes fail loudly (a
+// deliberate change must bump the version and update the constant).
+func TestGoldenFormatV1(t *testing.T) {
+	ds := dataset.MustNew([]dataset.Object{
+		{Point: geom.Point{1, 2}, Doc: []dataset.Keyword{3, 5}},
+		{Point: geom.Point{-0.5, 4}, Doc: []dataset.Keyword{0}},
+	})
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got := hex.EncodeToString(buf.Bytes())
+	if got != goldenV1 {
+		t.Fatalf("format drifted:\n got %s\nwant %s", got, goldenV1)
+	}
+	back, err := ReadDataset(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatal("golden stream does not restore")
+	}
+}
+
+const goldenV1 = "4b57534301020280808080808080f83f80808080808080804002030280808080808080f0bf018080808080808088400100b32a1442"

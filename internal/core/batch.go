@@ -1,0 +1,76 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+)
+
+// RectQuery is one query of a batch: a rectangle plus its keywords.
+type RectQuery struct {
+	Rect     *geom.Rect
+	Keywords []dataset.Keyword
+	Opts     QueryOpts
+}
+
+// BatchResult is the outcome of one query of a batch.
+type BatchResult struct {
+	IDs   []int32
+	Stats QueryStats
+	Err   error
+}
+
+// QueryBatch answers many queries concurrently. The static indexes are
+// safe for concurrent readers, so a batch parallelizes trivially;
+// parallelism <= 0 selects GOMAXPROCS. Results are positionally aligned
+// with the queries.
+func (ix *ORPKW) QueryBatch(queries []RectQuery, parallelism int) []BatchResult {
+	return runBatch(queries, parallelism, func(q RectQuery) BatchResult {
+		ids, st, err := ix.Collect(q.Rect, q.Keywords, q.Opts)
+		return BatchResult{IDs: ids, Stats: st, Err: err}
+	})
+}
+
+// QueryBatch answers many queries concurrently on the dimension-reduction
+// index.
+func (ix *ORPKWHigh) QueryBatch(queries []RectQuery, parallelism int) []BatchResult {
+	return runBatch(queries, parallelism, func(q RectQuery) BatchResult {
+		ids, st, err := ix.Collect(q.Rect, q.Keywords, q.Opts)
+		return BatchResult{IDs: ids, Stats: st, Err: err}
+	})
+}
+
+func runBatch(queries []RectQuery, parallelism int, one func(RectQuery) BatchResult) []BatchResult {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	results := make([]BatchResult, len(queries))
+	if parallelism <= 1 {
+		for i, q := range queries {
+			results[i] = one(q)
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = one(queries[i])
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}

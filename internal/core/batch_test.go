@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"kwsc/internal/workload"
+)
+
+func makeBatch(rng *rand.Rand, n int) []RectQuery {
+	qs := make([]RectQuery, n)
+	for i := range qs {
+		qs[i] = RectQuery{
+			Rect:     workload.RandRect(rng, 2, 0.3),
+			Keywords: workload.RandKeywords(rng, 20, 2),
+		}
+	}
+	return qs
+}
+
+func TestQueryBatchMatchesSequential(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 1, Objects: 800, Dim: 2, Vocab: 20, DocLen: 4})
+	ix, err := BuildORPKW(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	queries := makeBatch(rng, 40)
+	for _, par := range []int{0, 1, 4, 100} {
+		results := ix.QueryBatch(queries, par)
+		if len(results) != len(queries) {
+			t.Fatalf("par=%d: %d results for %d queries", par, len(results), len(queries))
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("par=%d query %d: %v", par, i, r.Err)
+			}
+			want := ds.Filter(queries[i].Rect, queries[i].Keywords)
+			if len(r.IDs) != len(want) {
+				t.Fatalf("par=%d query %d: %d results, want %d", par, i, len(r.IDs), len(want))
+			}
+		}
+	}
+}
+
+func TestQueryBatchErrorsSurface(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 3, Objects: 100, Dim: 2, Vocab: 10, DocLen: 4})
+	ix, err := BuildORPKW(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	queries := makeBatch(rng, 5)
+	queries[2].Keywords = queries[2].Keywords[:1] // wrong arity
+	results := ix.QueryBatch(queries, 3)
+	if results[2].Err == nil {
+		t.Fatal("bad query did not surface its error")
+	}
+	for i, r := range results {
+		if i != 2 && r.Err != nil {
+			t.Fatalf("healthy query %d errored: %v", i, r.Err)
+		}
+	}
+}
+
+func TestQueryBatchHighDim(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 5, Objects: 600, Dim: 3, Vocab: 15, DocLen: 4})
+	ix, err := BuildORPKWHigh(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	queries := make([]RectQuery, 20)
+	for i := range queries {
+		queries[i] = RectQuery{
+			Rect:     workload.RandRect(rng, 3, 0.5),
+			Keywords: workload.RandKeywords(rng, 15, 2),
+		}
+	}
+	results := ix.QueryBatch(queries, 4)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		want := ds.Filter(queries[i].Rect, queries[i].Keywords)
+		if len(r.IDs) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", i, len(r.IDs), len(want))
+		}
+	}
+}
+
+func TestQueryBatchEmpty(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 7, Objects: 50, Dim: 2, Vocab: 10, DocLen: 3})
+	ix, err := BuildORPKW(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := ix.QueryBatch(nil, 4); len(res) != 0 {
+		t.Fatal("empty batch must yield empty results")
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+)
+
+// This file provides counting and emptiness variants for every reporting
+// index. Emptiness runs a reporting query truncated at the first result —
+// the manual-termination idea of the paper's footnote 4 — so it never pays
+// for more than one output.
+
+// Count returns |q ∩ D(w1..wk)| for the kd-route index.
+func (ix *ORPKW) Count(q *geom.Rect, ws []dataset.Keyword) (int, QueryStats, error) {
+	n := 0
+	st, err := ix.Query(q, ws, QueryOpts{}, func(int32) { n++ })
+	return n, st, err
+}
+
+// Empty reports whether q ∩ D(w1..wk) is empty.
+func (ix *ORPKW) Empty(q *geom.Rect, ws []dataset.Keyword) (bool, QueryStats, error) {
+	st, err := ix.Query(q, ws, QueryOpts{Limit: 1}, func(int32) {})
+	return st.Reported == 0, st, err
+}
+
+// Count returns |q ∩ D(w1..wk)| for the dimension-reduction index.
+func (ix *ORPKWHigh) Count(q *geom.Rect, ws []dataset.Keyword) (int, QueryStats, error) {
+	n := 0
+	st, err := ix.Query(q, ws, QueryOpts{}, func(int32) { n++ })
+	return n, st, err
+}
+
+// Empty reports whether q ∩ D(w1..wk) is empty.
+func (ix *ORPKWHigh) Empty(q *geom.Rect, ws []dataset.Keyword) (bool, QueryStats, error) {
+	st, err := ix.Query(q, ws, QueryOpts{Limit: 1}, func(int32) {})
+	return st.Reported == 0, st, err
+}
+
+// CountConstraints returns the number of objects satisfying every linear
+// constraint that carry all keywords.
+func (ix *SPKW) CountConstraints(hs []geom.Halfspace, ws []dataset.Keyword) (int, QueryStats, error) {
+	n := 0
+	st, err := ix.QueryConstraints(hs, ws, QueryOpts{}, func(int32) { n++ })
+	return n, st, err
+}
+
+// EmptyConstraints reports whether the LC-KW result is empty.
+func (ix *SPKW) EmptyConstraints(hs []geom.Halfspace, ws []dataset.Keyword) (bool, QueryStats, error) {
+	st, err := ix.QueryConstraints(hs, ws, QueryOpts{Limit: 1}, func(int32) {})
+	return st.Reported == 0, st, err
+}
+
+// Count returns the number of keyword-qualified objects in the sphere.
+func (ix *SRPKW) Count(s *geom.Sphere, ws []dataset.Keyword) (int, QueryStats, error) {
+	n := 0
+	st, err := ix.Query(s, ws, QueryOpts{}, func(int32) { n++ })
+	return n, st, err
+}
+
+// Empty reports whether the SRP-KW result is empty.
+func (ix *SRPKW) Empty(s *geom.Sphere, ws []dataset.Keyword) (bool, QueryStats, error) {
+	st, err := ix.Query(s, ws, QueryOpts{Limit: 1}, func(int32) {})
+	return st.Reported == 0, st, err
+}
+
+// Count returns the number of intersecting, keyword-qualified rectangles.
+func (ix *RRKW) Count(q *geom.Rect, ws []dataset.Keyword) (int, QueryStats, error) {
+	n := 0
+	st, err := ix.Query(q, ws, QueryOpts{}, func(int32) { n++ })
+	return n, st, err
+}
+
+// Empty reports whether the RR-KW result is empty.
+func (ix *RRKW) Empty(q *geom.Rect, ws []dataset.Keyword) (bool, QueryStats, error) {
+	st, err := ix.Query(q, ws, QueryOpts{Limit: 1}, func(int32) {})
+	return st.Reported == 0, st, err
+}

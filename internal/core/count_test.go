@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+	"kwsc/internal/workload"
+)
+
+func TestCountAndEmptyORPKW(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 1, Objects: 400, Dim: 2, Vocab: 20, DocLen: 4})
+	ix, err := BuildORPKW(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 30; trial++ {
+		q := workload.RandRect(rng, 2, 0.4)
+		ws := workload.RandKeywords(rng, 20, 2)
+		want := len(ds.Filter(q, ws))
+		n, _, err := ix.Count(q, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != want {
+			t.Fatalf("Count = %d, want %d", n, want)
+		}
+		empty, st, err := ix.Empty(q, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if empty != (want == 0) {
+			t.Fatalf("Empty = %v, want %v", empty, want == 0)
+		}
+		if want > 0 && st.Reported != 1 {
+			t.Fatalf("emptiness query reported %d; must stop at the first hit", st.Reported)
+		}
+	}
+}
+
+func TestCountAndEmptyHighDim(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 2, Objects: 600, Dim: 3, Vocab: 15, DocLen: 4})
+	ix, err := BuildORPKWHigh(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 15; trial++ {
+		q := workload.RandRect(rng, 3, 0.6)
+		ws := workload.RandKeywords(rng, 15, 2)
+		want := len(ds.Filter(q, ws))
+		n, _, err := ix.Count(q, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != want {
+			t.Fatalf("Count = %d, want %d", n, want)
+		}
+		empty, _, err := ix.Empty(q, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if empty != (want == 0) {
+			t.Fatalf("Empty = %v, want %v", empty, want == 0)
+		}
+	}
+}
+
+func TestCountConstraintsAndSphere(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 3, Objects: 400, Dim: 2, Vocab: 15, DocLen: 4})
+	lc, err := BuildSPKW(ds, SPKWConfig{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srp, err := BuildSRPKW(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 15; trial++ {
+		ws := workload.RandKeywords(rng, 15, 2)
+		hs := workload.RandHalfspaces(rng, 2, 2, 0.6)
+		want := len(ds.Filter(geom.NewPolyhedron(hs...), ws))
+		n, _, err := lc.CountConstraints(hs, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != want {
+			t.Fatalf("CountConstraints = %d, want %d", n, want)
+		}
+		empty, _, err := lc.EmptyConstraints(hs, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if empty != (want == 0) {
+			t.Fatal("EmptyConstraints disagrees with Count")
+		}
+		s := geom.NewSphere(geom.Point{rng.Float64(), rng.Float64()}, 0.2)
+		wantS := len(ds.Filter(s, ws))
+		nS, _, err := srp.Count(s, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nS != wantS {
+			t.Fatalf("sphere Count = %d, want %d", nS, wantS)
+		}
+		emptyS, _, err := srp.Empty(s, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if emptyS != (wantS == 0) {
+			t.Fatal("sphere Empty disagrees")
+		}
+	}
+}
+
+func TestCountRRKW(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	rects := make([]RectObject, 200)
+	for i := range rects {
+		a := rng.Float64()
+		rects[i] = RectObject{
+			Rect: &geom.Rect{Lo: []float64{a}, Hi: []float64{a + 0.1}},
+			Doc:  []dataset.Keyword{dataset.Keyword(rng.Intn(4)), 4 + dataset.Keyword(rng.Intn(4))},
+		}
+	}
+	ix, err := BuildRRKW(rects, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &geom.Rect{Lo: []float64{0.4}, Hi: []float64{0.6}}
+	ws := []dataset.Keyword{1, 5}
+	want := 0
+	for i, r := range rects {
+		if ix.Dataset().HasAll(int32(i), ws) && r.Rect.Hi[0] >= 0.4 && r.Rect.Lo[0] <= 0.6 {
+			want++
+		}
+	}
+	n, _, err := ix.Count(q, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != want {
+		t.Fatalf("RRKW Count = %d, want %d", n, want)
+	}
+	empty, _, err := ix.Empty(q, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty != (want == 0) {
+		t.Fatal("RRKW Empty disagrees")
+	}
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+)
+
+// DynamicORPKW maintains an ORP-KW index under insertions and deletions via
+// the logarithmic method of Bentley and Saxe. The paper's structures are
+// static; range-reporting-with-keywords is a decomposable search problem
+// (the answer over a union of parts is the union of the answers), so the
+// classic transformation applies: objects live in O(log n) static ORPKW
+// indexes of doubling sizes plus a small linear buffer, insertions trigger
+// binary-counter merges, and deletions are tombstones purged at rebuilds.
+//
+// Amortized insertion cost is O(log n) static-build work per object; a
+// query costs the sum over the O(log n) parts, preserving the
+// O(N^{1-1/k} (1 + OUT^{1/k})) shape up to a logarithmic factor.
+//
+// Objects are identified by stable handles assigned at insertion; reported
+// results carry handles, not positional ids (positions change at merges).
+type DynamicORPKW struct {
+	k, dim     int
+	bufferCap  int
+	buffer     []dynEntry
+	buckets    []*dynBucket // buckets[i] holds at most bufferCap<<i entries
+	deleted    map[int64]struct{}
+	nextHandle int64
+	live       int
+}
+
+type dynEntry struct {
+	handle int64
+	obj    dataset.Object
+}
+
+type dynBucket struct {
+	ix      *ORPKW
+	entries []dynEntry // parallel to the bucket dataset's object ids
+}
+
+// NewDynamicORPKW creates an empty dynamic index for k-keyword queries over
+// d-dimensional points. bufferCap tunes the unindexed write buffer
+// (0 selects 64).
+func NewDynamicORPKW(dim, k, bufferCap int) (*DynamicORPKW, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("core: k >= 2 required, got %d", k)
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("core: dimension >= 1 required, got %d", dim)
+	}
+	if bufferCap <= 0 {
+		bufferCap = 64
+	}
+	return &DynamicORPKW{
+		k: k, dim: dim, bufferCap: bufferCap,
+		deleted: make(map[int64]struct{}),
+	}, nil
+}
+
+// Len returns the number of live objects.
+func (d *DynamicORPKW) Len() int { return d.live }
+
+// K returns the query keyword arity.
+func (d *DynamicORPKW) K() int { return d.k }
+
+// Insert adds an object and returns its stable handle.
+func (d *DynamicORPKW) Insert(obj dataset.Object) (int64, error) {
+	if len(obj.Point) != d.dim {
+		return 0, fmt.Errorf("core: object dimension %d, index dimension %d", len(obj.Point), d.dim)
+	}
+	if len(obj.Doc) == 0 {
+		return 0, fmt.Errorf("core: object with empty document")
+	}
+	h := d.nextHandle
+	d.nextHandle++
+	cp := dataset.Object{Point: obj.Point.Clone(), Doc: append([]dataset.Keyword(nil), obj.Doc...)}
+	d.buffer = append(d.buffer, dynEntry{handle: h, obj: cp})
+	d.live++
+	if len(d.buffer) >= d.bufferCap {
+		if err := d.carry(); err != nil {
+			return 0, err
+		}
+	}
+	return h, nil
+}
+
+// Delete removes the object with the given handle. Deleting an unknown or
+// already-deleted handle returns false.
+func (d *DynamicORPKW) Delete(handle int64) (bool, error) {
+	if handle < 0 || handle >= d.nextHandle {
+		return false, nil
+	}
+	if _, gone := d.deleted[handle]; gone {
+		return false, nil
+	}
+	// Buffer entries are removed in place.
+	for i := range d.buffer {
+		if d.buffer[i].handle == handle {
+			d.buffer = append(d.buffer[:i], d.buffer[i+1:]...)
+			d.live--
+			return true, nil
+		}
+	}
+	// Confirm the handle exists in some bucket before tombstoning.
+	found := false
+	for _, b := range d.buckets {
+		if b == nil {
+			continue
+		}
+		for i := range b.entries {
+			if b.entries[i].handle == handle {
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		return false, nil
+	}
+	d.deleted[handle] = struct{}{}
+	d.live--
+	// Rebuild when tombstones dominate.
+	if len(d.deleted) > d.live {
+		if err := d.rebuildAll(); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// carry merges the buffer with the maximal run of occupied buckets
+// (binary-counter style), purging tombstones, and installs the result at the
+// smallest slot whose capacity fits.
+func (d *DynamicORPKW) carry() error {
+	entries := d.takeBuffer()
+	slot := 0
+	for slot < len(d.buckets) && d.buckets[slot] != nil {
+		entries = append(entries, d.buckets[slot].entries...)
+		d.buckets[slot] = nil
+		slot++
+	}
+	entries = d.purge(entries)
+	return d.install(entries, slot)
+}
+
+func (d *DynamicORPKW) takeBuffer() []dynEntry {
+	out := d.buffer
+	d.buffer = nil
+	return out
+}
+
+func (d *DynamicORPKW) purge(entries []dynEntry) []dynEntry {
+	out := entries[:0]
+	for _, e := range entries {
+		if _, gone := d.deleted[e.handle]; gone {
+			delete(d.deleted, e.handle)
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// install places entries in the smallest slot >= minSlot whose capacity
+// bufferCap<<slot holds them, growing the bucket array as needed.
+func (d *DynamicORPKW) install(entries []dynEntry, minSlot int) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	slot := minSlot
+	for d.bufferCap<<slot < len(entries) {
+		slot++
+	}
+	// The target slot may be occupied when a purge shrank a merge below its
+	// natural size; cascade upward.
+	for slot < len(d.buckets) && d.buckets[slot] != nil {
+		entries = append(entries, d.buckets[slot].entries...)
+		d.buckets[slot] = nil
+		entries = d.purge(entries)
+		for d.bufferCap<<slot < len(entries) {
+			slot++
+		}
+	}
+	for len(d.buckets) <= slot {
+		d.buckets = append(d.buckets, nil)
+	}
+	objs := make([]dataset.Object, len(entries))
+	for i, e := range entries {
+		objs[i] = e.obj
+	}
+	ds, err := dataset.New(objs)
+	if err != nil {
+		return err
+	}
+	ix, err := BuildORPKW(ds, d.k)
+	if err != nil {
+		return err
+	}
+	d.buckets[slot] = &dynBucket{ix: ix, entries: entries}
+	return nil
+}
+
+// rebuildAll merges everything into a single static index.
+func (d *DynamicORPKW) rebuildAll() error {
+	var entries []dynEntry
+	entries = append(entries, d.takeBuffer()...)
+	for i, b := range d.buckets {
+		if b != nil {
+			entries = append(entries, b.entries...)
+			d.buckets[i] = nil
+		}
+	}
+	entries = d.purge(entries)
+	d.deleted = make(map[int64]struct{})
+	if len(entries) == 0 {
+		return nil
+	}
+	return d.install(entries, 0)
+}
+
+// Query reports (handle, object) for every live object in q whose document
+// contains all k keywords.
+func (d *DynamicORPKW) Query(q *geom.Rect, ws []dataset.Keyword, report func(handle int64, obj *dataset.Object)) (QueryStats, error) {
+	if len(ws) != d.k {
+		return QueryStats{}, fmt.Errorf("core: query carries %d keywords but the index was built for k=%d", len(ws), d.k)
+	}
+	if err := dataset.ValidateKeywords(ws); err != nil {
+		return QueryStats{}, err
+	}
+	var st QueryStats
+	// Buffer: linear scan (bounded by bufferCap).
+	for i := range d.buffer {
+		e := &d.buffer[i]
+		st.Ops++
+		if q.ContainsPoint(e.obj.Point) && docHasAll(e.obj.Doc, ws) {
+			report(e.handle, &e.obj)
+			st.Reported++
+		}
+	}
+	for _, b := range d.buckets {
+		if b == nil {
+			continue
+		}
+		bst, err := b.ix.Query(q, ws, QueryOpts{}, func(id int32) {
+			e := &b.entries[id]
+			if _, gone := d.deleted[e.handle]; gone {
+				return
+			}
+			report(e.handle, &e.obj)
+		})
+		if err != nil {
+			return st, err
+		}
+		st.add(bst)
+	}
+	return st, nil
+}
+
+// Collect is Query returning the handles.
+func (d *DynamicORPKW) Collect(q *geom.Rect, ws []dataset.Keyword) ([]int64, QueryStats, error) {
+	var out []int64
+	st, err := d.Query(q, ws, func(h int64, _ *dataset.Object) { out = append(out, h) })
+	return out, st, err
+}
+
+// Buckets returns the occupancy pattern (entry counts per slot), exposed for
+// tests and instrumentation of the logarithmic structure.
+func (d *DynamicORPKW) Buckets() []int {
+	out := make([]int, len(d.buckets))
+	for i, b := range d.buckets {
+		if b != nil {
+			out[i] = len(b.entries)
+		}
+	}
+	return out
+}
+
+// NumBuckets returns the number of occupied static parts; O(log n) by the
+// binary-counter invariant.
+func (d *DynamicORPKW) NumBuckets() int {
+	c := 0
+	for _, b := range d.buckets {
+		if b != nil {
+			c++
+		}
+	}
+	return c
+}
+
+// docHasAll is the buffer-side membership check (documents there are small
+// and unindexed).
+func docHasAll(doc, ws []dataset.Keyword) bool {
+	for _, w := range ws {
+		found := false
+		for _, x := range doc {
+			if x == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// expectedBuckets returns the binary-counter bucket count for n entries and
+// buffer capacity b (a test helper kept here for documentation value).
+func expectedBuckets(n, b int) int {
+	if n <= 0 {
+		return 0
+	}
+	return bits.OnesCount(uint(n / b))
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+)
+
+// dynOracle mirrors the dynamic index with a plain map.
+type dynOracle struct {
+	objs map[int64]dataset.Object
+}
+
+func (o *dynOracle) query(q *geom.Rect, ws []dataset.Keyword) []int64 {
+	var out []int64
+	for h, obj := range o.objs {
+		if q.ContainsPoint(obj.Point) && docHasAll(obj.Doc, ws) {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func randObj(rng *rand.Rand) dataset.Object {
+	doc := make([]dataset.Keyword, 1+rng.Intn(4))
+	for j := range doc {
+		doc[j] = dataset.Keyword(rng.Intn(10))
+	}
+	return dataset.Object{
+		Point: geom.Point{rng.Float64(), rng.Float64()},
+		Doc:   doc,
+	}
+}
+
+func TestDynamicValidation(t *testing.T) {
+	if _, err := NewDynamicORPKW(2, 1, 0); err == nil {
+		t.Fatal("k=1 must be rejected")
+	}
+	if _, err := NewDynamicORPKW(0, 2, 0); err == nil {
+		t.Fatal("dim=0 must be rejected")
+	}
+	d, err := NewDynamicORPKW(2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Insert(dataset.Object{Point: geom.Point{1}, Doc: []dataset.Keyword{1}}); err == nil {
+		t.Fatal("wrong dimension must be rejected")
+	}
+	if _, err := d.Insert(dataset.Object{Point: geom.Point{1, 2}}); err == nil {
+		t.Fatal("empty document must be rejected")
+	}
+	if _, _, err := d.Collect(geom.UniverseRect(2), []dataset.Keyword{1}); err == nil {
+		t.Fatal("wrong arity query must be rejected")
+	}
+}
+
+func TestDynamicInsertQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d, err := NewDynamicORPKW(2, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := &dynOracle{objs: map[int64]dataset.Object{}}
+	for i := 0; i < 500; i++ {
+		obj := randObj(rng)
+		h, err := d.Insert(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle.objs[h] = obj
+		if i%50 == 0 {
+			q := &geom.Rect{
+				Lo: []float64{rng.Float64() * 0.5, rng.Float64() * 0.5},
+				Hi: []float64{0.5 + rng.Float64()*0.5, 0.5 + rng.Float64()*0.5},
+			}
+			got, _, err := d.Collect(q, []dataset.Keyword{0, 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+			want := oracle.query(q, []dataset.Keyword{0, 1})
+			if len(got) != len(want) {
+				t.Fatalf("step %d: got %d, want %d", i, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("step %d: handle mismatch at %d", i, j)
+				}
+			}
+		}
+	}
+	if d.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", d.Len())
+	}
+}
+
+func TestDynamicLogarithmicBuckets(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d, err := NewDynamicORPKW(2, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2048; i++ {
+		if _, err := d.Insert(randObj(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 2048 objects with buffer 8: at most ~log2(256)+1 occupied buckets.
+	if nb := d.NumBuckets(); nb > 10 {
+		t.Fatalf("%d occupied buckets; logarithmic method violated (occupancy %v)",
+			nb, d.Buckets())
+	}
+}
+
+func TestDynamicDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d, err := NewDynamicORPKW(2, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := &dynOracle{objs: map[int64]dataset.Object{}}
+	var handles []int64
+	for i := 0; i < 300; i++ {
+		obj := randObj(rng)
+		h, err := d.Insert(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle.objs[h] = obj
+		handles = append(handles, h)
+	}
+	// Delete 200 random objects, checking consistency along the way.
+	rng.Shuffle(len(handles), func(a, b int) { handles[a], handles[b] = handles[b], handles[a] })
+	for i, h := range handles[:200] {
+		ok, err := d.Delete(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("delete %d reported missing", h)
+		}
+		delete(oracle.objs, h)
+		if i%25 == 0 {
+			got, _, err := d.Collect(geom.UniverseRect(2), []dataset.Keyword{0, 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracle.query(geom.UniverseRect(2), []dataset.Keyword{0, 1})
+			if len(got) != len(want) {
+				t.Fatalf("after %d deletes: got %d, want %d", i+1, len(got), len(want))
+			}
+		}
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", d.Len())
+	}
+	// Double delete and unknown handle.
+	if ok, _ := d.Delete(handles[0]); ok {
+		t.Fatal("double delete must report false")
+	}
+	if ok, _ := d.Delete(99999); ok {
+		t.Fatal("unknown handle must report false")
+	}
+}
+
+func TestDynamicMixedChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d, err := NewDynamicORPKW(2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := &dynOracle{objs: map[int64]dataset.Object{}}
+	var live []int64
+	for step := 0; step < 1500; step++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			obj := randObj(rng)
+			h, err := d.Insert(obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle.objs[h] = obj
+			live = append(live, h)
+		} else {
+			i := rng.Intn(len(live))
+			h := live[i]
+			live = append(live[:i], live[i+1:]...)
+			if ok, err := d.Delete(h); err != nil || !ok {
+				t.Fatalf("delete failed: ok=%v err=%v", ok, err)
+			}
+			delete(oracle.objs, h)
+		}
+		if step%100 == 99 {
+			q := &geom.Rect{
+				Lo: []float64{0.2, 0.2},
+				Hi: []float64{0.8, 0.8},
+			}
+			got, _, err := d.Collect(q, []dataset.Keyword{0, 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+			want := oracle.query(q, []dataset.Keyword{0, 1})
+			if len(got) != len(want) {
+				t.Fatalf("step %d: got %d, want %d", step, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("step %d: handle mismatch", step)
+				}
+			}
+		}
+	}
+}
+
+func TestDynamicBufferDeletion(t *testing.T) {
+	d, err := NewDynamicORPKW(2, 2, 100) // large buffer: stays unindexed
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := d.Insert(dataset.Object{Point: geom.Point{0.1, 0.1}, Doc: []dataset.Keyword{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := d.Insert(dataset.Object{Point: geom.Point{0.2, 0.2}, Doc: []dataset.Keyword{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := d.Delete(h1); !ok {
+		t.Fatal("buffer delete failed")
+	}
+	got, _, err := d.Collect(geom.UniverseRect(2), []dataset.Keyword{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != h2 {
+		t.Fatalf("got %v, want [%d]", got, h2)
+	}
+}
+
+func TestExpectedBucketsHelper(t *testing.T) {
+	if expectedBuckets(0, 8) != 0 {
+		t.Fatal("zero entries, zero buckets")
+	}
+	if expectedBuckets(24, 8) != 2 { // 24/8 = 3 = 0b11
+		t.Fatal("24 entries at cap 8 should be 2 buckets")
+	}
+}

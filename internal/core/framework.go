@@ -1,0 +1,371 @@
+// Package core implements the paper's primary contribution: the four-step
+// index-transformation framework of Section 3, which converts a
+// space-partitioning geometry index into one that additionally handles
+// keyword predicates with query time O(N^{1-1/k} (1 + OUT^{1/k})); the
+// dimension-reduction technique of Section 4; and, on top of those, the
+// indexes for every problem of Section 1.1 (ORP-KW, RR-KW, L∞NN-KW, LC-KW,
+// SP-KW, SRP-KW, L2NN-KW) plus the k-SI view of Section 1.2.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kwsc/internal/bits"
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+	"kwsc/internal/spart"
+)
+
+// Framework is the keyword-transformed space-partitioning index of
+// Section 3.2 (Step 2 of the framework): a tree built over the verbose set
+// (realized as objects weighted by |e.Doc|), where each node u carries
+//
+//   - its active set implicitly (the objects in its subtree),
+//   - its pivot set D_u^pvt (objects on child-cell boundaries),
+//   - the secondary structure T_u: a hash table of the keywords that are
+//     large at u (|D_u^act(w)| >= N_u^{1-1/k}) and, per child v, a
+//     k-dimensional bit array recording whether the intersection of the
+//     children's active keyword sets is empty,
+//   - the materialized lists D_u^act(w) for keywords that are small at u
+//     but large at all proper ancestors.
+type Framework struct {
+	ds       *dataset.Dataset
+	k        int
+	split    spart.Splitter
+	pts      []geom.Point // partitioning coordinates (rank space or original)
+	weight   []int32      // |e.Doc| per object: the verbose-set multiplicity
+	nodes    []fnode
+	leafSize int
+	space    SpaceBreakdown
+}
+
+type fnode struct {
+	cell     spart.Cell
+	children []int32
+	pivots   []int32
+	nu       int64 // N_u = sum of |e.Doc| over the active set
+
+	// Secondary structure T_u (internal nodes only):
+	large   map[dataset.Keyword]int32   // large keyword -> index in [0, L)
+	l       int32                       // L = number of large keywords
+	tensors []*bits.Dense               // per child: L^k-bit non-emptiness array
+	mat     map[dataset.Keyword][]int32 // materialized D_u^act(w) for small w
+}
+
+// SpaceBreakdown audits the index footprint analytically, in the paper's
+// units (words of >= log2 N bits, plus raw bits for the bit arrays), so the
+// space claims of Table 1 are measurable independent of Go allocator
+// overheads.
+type SpaceBreakdown struct {
+	NodeWords    int64 // tree skeleton: cells, child pointers, counters
+	PivotWords   int64 // pivot set entries
+	LargeWords   int64 // large-keyword hash tables
+	MatWords     int64 // materialized small-keyword lists
+	TensorBits   int64 // k-dimensional non-emptiness bit arrays
+	AuxWords     int64 // problem-specific extras (rank tables, coordinate arrays)
+	DocHashWords int64 // per-object document hash tables (footnote 9)
+}
+
+// TotalWords converts the breakdown to words, charging the bit arrays at
+// wordBits bits per word (pass 64 for the machine word; the paper's model
+// uses >= log2 N).
+func (s SpaceBreakdown) TotalWords(wordBits int) int64 {
+	if wordBits <= 0 {
+		wordBits = 64
+	}
+	return s.NodeWords + s.PivotWords + s.LargeWords + s.MatWords +
+		s.AuxWords + s.DocHashWords + (s.TensorBits+int64(wordBits)-1)/int64(wordBits)
+}
+
+// FrameworkConfig controls construction.
+type FrameworkConfig struct {
+	// K is the number of keywords every query will carry (k >= 2).
+	K int
+	// Splitter is the Step-1 space-partitioning policy.
+	Splitter spart.Splitter
+	// Points are the partitioning coordinates per object (defaults to the
+	// dataset's points; ORP-KW passes rank-space points). Points may have a
+	// different dimensionality than the dataset (the lifting reduction of
+	// Corollary 6 partitions on lifted (d+1)-dimensional coordinates while
+	// documents stay with the original objects).
+	Points []geom.Point
+	// Objects restricts the index to a subset of object ids (defaults to
+	// all). The dimension-reduction tree of Section 4 builds one secondary
+	// framework per node on that node's active set.
+	Objects []int32
+	// LeafSize is the maximum number of objects in a leaf (default 8).
+	LeafSize int
+}
+
+// BuildFramework runs Step 2 of the framework over the dataset.
+func BuildFramework(ds *dataset.Dataset, cfg FrameworkConfig) (*Framework, error) {
+	if cfg.K < 2 {
+		return nil, fmt.Errorf("core: the framework requires k >= 2, got %d", cfg.K)
+	}
+	if cfg.Splitter == nil {
+		return nil, fmt.Errorf("core: nil splitter")
+	}
+	pts := cfg.Points
+	if pts == nil {
+		pts = make([]geom.Point, ds.Len())
+		for i := range pts {
+			pts[i] = ds.Point(int32(i))
+		}
+	}
+	leaf := cfg.LeafSize
+	if leaf <= 0 {
+		leaf = 8
+	}
+	f := &Framework{
+		ds:       ds,
+		k:        cfg.K,
+		split:    cfg.Splitter,
+		pts:      pts,
+		leafSize: leaf,
+	}
+	f.weight = make([]int32, ds.Len())
+	for i := 0; i < ds.Len(); i++ {
+		f.weight[i] = ds.DocLen(int32(i))
+	}
+	objs := cfg.Objects
+	if objs == nil {
+		objs = make([]int32, ds.Len())
+		for i := range objs {
+			objs[i] = int32(i)
+		}
+	}
+	// The root's incoming keyword set is every keyword present among the
+	// objects: each is vacuously large at all (zero) proper ancestors.
+	seen := make(map[dataset.Keyword]struct{})
+	incoming := make([]dataset.Keyword, 0, 64)
+	for _, id := range objs {
+		for _, w := range ds.Doc(id) {
+			if _, ok := seen[w]; !ok {
+				seen[w] = struct{}{}
+				incoming = append(incoming, w)
+			}
+		}
+	}
+	b := &builder{f: f, cnt: make(map[dataset.Keyword]int64, len(incoming))}
+	root := f.split.RootCell(pts, objs)
+	b.build(root, objs, incoming, 0)
+	f.accountSpace()
+	return f, nil
+}
+
+// builder carries the reusable scratch map used to count keyword
+// occurrences per node; keys present in the map are exactly the node's
+// incoming keywords.
+type builder struct {
+	f   *Framework
+	cnt map[dataset.Keyword]int64
+}
+
+// build creates the subtree for objs and returns its node index.
+func (b *builder) build(cell spart.Cell, objs []int32, incoming []dataset.Keyword, depth int) int32 {
+	f := b.f
+	idx := int32(len(f.nodes))
+	f.nodes = append(f.nodes, fnode{cell: cell})
+	var nu int64
+	for _, id := range objs {
+		nu += int64(f.weight[id])
+	}
+	f.nodes[idx].nu = nu
+	if len(objs) <= f.leafSize {
+		f.nodes[idx].pivots = append([]int32(nil), objs...)
+		return idx
+	}
+
+	// Classify the incoming keywords as large or small at this node
+	// (Section 3.2): w is large iff |D_u^act(w)| >= N_u^{1-1/k}.
+	for _, w := range incoming {
+		b.cnt[w] = 0
+	}
+	for _, id := range objs {
+		for _, w := range f.ds.Doc(id) {
+			if _, track := b.cnt[w]; track {
+				b.cnt[w]++
+			}
+		}
+	}
+	threshold := math.Pow(float64(nu), 1-1/float64(f.k))
+	large := make(map[dataset.Keyword]int32)
+	var largeList []dataset.Keyword
+	for _, w := range incoming {
+		if float64(b.cnt[w]) >= threshold {
+			large[w] = int32(len(largeList))
+			largeList = append(largeList, w)
+		}
+	}
+	// Materialize D_u^act(w) for every small incoming keyword that occurs
+	// here (w was large at all proper ancestors by the inductive invariant).
+	mat := make(map[dataset.Keyword][]int32)
+	for _, id := range objs {
+		for _, w := range f.ds.Doc(id) {
+			if c, track := b.cnt[w]; track && c > 0 {
+				if _, isLarge := large[w]; !isLarge {
+					mat[w] = append(mat[w], id)
+				}
+			}
+		}
+	}
+	// Release the scratch keys so descendants (whose incoming sets are the
+	// large keywords only) start from a clean map.
+	for _, w := range incoming {
+		delete(b.cnt, w)
+	}
+
+	cells, assign, ok := f.split.Split(cell, objs, f.pts, f.weight, depth)
+	if !ok {
+		// No geometric progress possible: finish as a leaf.
+		f.nodes[idx].pivots = append([]int32(nil), objs...)
+		return idx
+	}
+	groups := make([][]int32, len(cells))
+	var pivots []int32
+	for i, id := range objs {
+		if a := assign[i]; a == spart.PivotChild {
+			pivots = append(pivots, id)
+		} else {
+			groups[a] = append(groups[a], id)
+		}
+	}
+	f.nodes[idx].pivots = pivots
+	f.nodes[idx].large = large
+	f.nodes[idx].l = int32(len(largeList))
+	f.nodes[idx].mat = mat
+
+	// The k-dimensional non-emptiness bit arrays, one per child: bit at the
+	// sorted tuple (i1 < ... < ik) of large-keyword indexes is set iff some
+	// object in the child's active set carries all k keywords.
+	L := len(largeList)
+	tsize := tensorSize(L, f.k)
+	childIdx := make([]int32, 0, len(cells))
+	tensors := make([]*bits.Dense, 0, len(cells))
+	scratch := make([]int32, 0, 16)
+	for c, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		t := bits.NewDense(int(tsize))
+		for _, id := range g {
+			scratch = scratch[:0]
+			for _, w := range f.ds.Doc(id) {
+				if li, isLarge := large[w]; isLarge {
+					scratch = append(scratch, li)
+				}
+			}
+			if len(scratch) >= f.k {
+				sort.Slice(scratch, func(a, b int) bool { return scratch[a] < scratch[b] })
+				markCombinations(t, scratch, f.k, L)
+			}
+		}
+		tensors = append(tensors, t)
+		child := b.build(cells[c], g, largeList, depth+1)
+		childIdx = append(childIdx, child)
+	}
+	f.nodes[idx].children = childIdx
+	f.nodes[idx].tensors = tensors
+	return idx
+}
+
+// tensorSize returns L^k, saturating safely (L^k <= N_u by the large-keyword
+// bound, so overflow means a logic error upstream).
+func tensorSize(L, k int) int64 {
+	s := int64(1)
+	for i := 0; i < k; i++ {
+		s *= int64(L)
+		if s > 1<<40 {
+			panic("core: non-emptiness tensor exceeds sanity bound; large-keyword invariant violated")
+		}
+	}
+	return s
+}
+
+// markCombinations sets the tensor bit of every strictly-increasing
+// k-combination of the sorted large-keyword indexes in list.
+func markCombinations(t *bits.Dense, list []int32, k, L int) {
+	var rec func(start, depth int, lin int64)
+	rec = func(start, depth int, lin int64) {
+		if depth == k {
+			t.Set(int(lin))
+			return
+		}
+		for i := start; i <= len(list)-(k-depth); i++ {
+			rec(i+1, depth+1, lin*int64(L)+int64(list[i]))
+		}
+	}
+	rec(0, 0, 0)
+}
+
+// tensorIndex computes the linear index of the sorted large-index tuple.
+func tensorIndex(sorted []int32, L int) int64 {
+	var lin int64
+	for _, v := range sorted {
+		lin = lin*int64(L) + int64(v)
+	}
+	return lin
+}
+
+// K returns the keyword arity the index was built for.
+func (f *Framework) K() int { return f.k }
+
+// Dataset returns the underlying dataset.
+func (f *Framework) Dataset() *dataset.Dataset { return f.ds }
+
+// NumNodes returns the number of tree nodes.
+func (f *Framework) NumNodes() int { return len(f.nodes) }
+
+// Space returns the analytic space audit.
+func (f *Framework) Space() SpaceBreakdown { return f.space }
+
+func (f *Framework) accountSpace() {
+	var s SpaceBreakdown
+	for i := range f.nodes {
+		n := &f.nodes[i]
+		s.NodeWords += 4 + int64(len(n.children))
+		s.PivotWords += int64(len(n.pivots))
+		s.LargeWords += 2 * int64(len(n.large))
+		for _, lst := range n.mat {
+			s.MatWords += int64(len(lst)) + 1
+		}
+		for _, t := range n.tensors {
+			s.TensorBits += t.SpaceBits()
+		}
+	}
+	s.DocHashWords = f.ds.DocSpaceWords()
+	f.space = s
+}
+
+// MaxPivots returns the largest pivot set of any internal node — the
+// quantity the general-position machinery (Steps 2 and 4) keeps O(1).
+func (f *Framework) MaxPivots() int {
+	m := 0
+	for i := range f.nodes {
+		n := &f.nodes[i]
+		if len(n.children) > 0 && len(n.pivots) > m {
+			m = len(n.pivots)
+		}
+	}
+	return m
+}
+
+// Height returns the tree height.
+func (f *Framework) Height() int {
+	if len(f.nodes) == 0 {
+		return -1
+	}
+	var rec func(n int32) int
+	rec = func(n int32) int {
+		h := 0
+		for _, c := range f.nodes[n].children {
+			if ch := rec(c) + 1; ch > h {
+				h = ch
+			}
+		}
+		return h
+	}
+	return rec(0)
+}

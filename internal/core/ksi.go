@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+)
+
+// KSI is the k-set-intersection index of Section 1.2: pure keyword search as
+// an ORP-KW instance where every object is mapped to an arbitrary point and
+// queries use the search rectangle q := R^d. It inherits the framework's
+// O(N^{1-1/k} (1 + OUT^{1/k})) reporting bound, which Lemma 8 shows is tight
+// (up to sub-polynomial factors) under the strong set-intersection and
+// strong k-set-disjointness conjectures.
+type KSI struct {
+	ds *dataset.Dataset
+	fw *Framework
+}
+
+// BuildKSI indexes the sets S_0..S_{m-1}: sets[i] lists the elements of set
+// i, with elements drawn from any integer universe. Following the reduction
+// of Section 1.2, the object universe is the union of the sets and object
+// e's document is {i : e in S_i}.
+func BuildKSI(sets [][]int64, k int) (*KSI, error) {
+	if len(sets) < 2 {
+		return nil, fmt.Errorf("core: k-SI needs at least 2 sets, got %d", len(sets))
+	}
+	docs := make(map[int64][]dataset.Keyword)
+	for i, s := range sets {
+		for _, e := range s {
+			docs[e] = append(docs[e], dataset.Keyword(i))
+		}
+	}
+	objs := make([]dataset.Object, 0, len(docs))
+	for e, doc := range docs {
+		// "Map each object to an arbitrary point": spread objects on a line
+		// of distinct coordinates (the element value itself works, with a
+		// second coordinate for d=2).
+		objs = append(objs, dataset.Object{
+			Point: geom.Point{float64(e), float64(e)},
+			Doc:   doc,
+		})
+	}
+	ds, err := dataset.New(objs)
+	if err != nil {
+		return nil, err
+	}
+	return BuildKSIFromDataset(ds, k)
+}
+
+// BuildKSIFromDataset treats an existing dataset's documents as the sets
+// (keyword w's set S_w is the objects containing w) and indexes pure keyword
+// search over them.
+func BuildKSIFromDataset(ds *dataset.Dataset, k int) (*KSI, error) {
+	orp, err := BuildORPKW(ds, k)
+	if err != nil {
+		return nil, err
+	}
+	return &KSI{ds: ds, fw: orp.Framework()}, nil
+}
+
+// Report answers a k-SI reporting query: the ids of the objects carrying all
+// k keywords (equivalently, the intersection of the k sets).
+func (ix *KSI) Report(ws []dataset.Keyword, opts QueryOpts) ([]int32, QueryStats, error) {
+	var out []int32
+	st, err := ix.fw.Query(geom.FullSpace{}, ws, opts, func(id int32) { out = append(out, id) })
+	return out, st, err
+}
+
+// Empty answers a k-SI emptiness query by running a budgeted reporting
+// query: per Section 1.2 (footnote 4), if the reporting query exceeds its
+// O(N^{1-1/k}) budget without finishing, the intersection must be non-empty.
+func (ix *KSI) Empty(ws []dataset.Keyword) (bool, QueryStats, error) {
+	st, err := ix.fw.Query(geom.FullSpace{}, ws, QueryOpts{Limit: 1}, func(int32) {})
+	return st.Reported == 0, st, err
+}
+
+// Dataset returns the reduction's dataset.
+func (ix *KSI) Dataset() *dataset.Dataset { return ix.ds }
+
+// Space returns the analytic space audit.
+func (ix *KSI) Space() SpaceBreakdown { return ix.fw.Space() }

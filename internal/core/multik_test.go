@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+	"kwsc/internal/workload"
+)
+
+func TestMultiKValidation(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 1, Objects: 50, Dim: 2, Vocab: 10, DocLen: 4})
+	if _, err := BuildMultiK(ds, 1); err == nil {
+		t.Fatal("kMax=1 must be rejected")
+	}
+	if _, err := BuildMultiK(ds, 20); err == nil {
+		t.Fatal("huge kMax must be rejected")
+	}
+	m, err := BuildMultiK(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.KMax() != 3 {
+		t.Fatal("KMax accessor wrong")
+	}
+	if _, _, err := m.Collect(geom.UniverseRect(2), nil, QueryOpts{}); err == nil {
+		t.Fatal("zero keywords must error")
+	}
+}
+
+func TestMultiKAllArities(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	objs := make([]dataset.Object, 600)
+	for i := range objs {
+		doc := make([]dataset.Keyword, 5)
+		for j := range doc {
+			doc[j] = dataset.Keyword(rng.Intn(9))
+		}
+		objs[i] = dataset.Object{Point: geom.Point{rng.Float64(), rng.Float64()}, Doc: doc}
+	}
+	ds := dataset.MustNew(objs)
+	m, err := BuildMultiK(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for arity := 1; arity <= 6; arity++ { // 5 and 6 exceed kMax: filter path
+		for trial := 0; trial < 10; trial++ {
+			q := workload.RandRect(rng, 2, 0.6)
+			ws := workload.RandKeywords(rng, 9, arity)
+			got, _, err := m.Collect(q, ws, QueryOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalIDs(t, got, ds.Filter(q, ws), "multik")
+		}
+	}
+}
+
+func TestMultiKSingleKeywordLimit(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 3, Objects: 400, Dim: 2, Vocab: 5, DocLen: 3})
+	m, err := BuildMultiK(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := m.Collect(geom.UniverseRect(2), []dataset.Keyword{0}, QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 5 {
+		t.Skip("not enough single-keyword matches")
+	}
+	got, st, err := m.Collect(geom.UniverseRect(2), []dataset.Keyword{0}, QueryOpts{Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || !st.Truncated {
+		t.Fatalf("limit: got %d truncated=%v", len(got), st.Truncated)
+	}
+}
+
+func TestMultiKOverArityLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	objs := make([]dataset.Object, 300)
+	for i := range objs {
+		objs[i] = dataset.Object{
+			Point: geom.Point{rng.Float64(), rng.Float64()},
+			Doc:   []dataset.Keyword{0, 1, 2, 3},
+		}
+	}
+	ds := dataset.MustNew(objs)
+	m, err := BuildMultiK(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := m.Collect(geom.UniverseRect(2), []dataset.Keyword{0, 1, 2, 3}, QueryOpts{Limit: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 || !st.Truncated {
+		t.Fatalf("over-arity limit: got %d truncated=%v", len(got), st.Truncated)
+	}
+	if st.Reported != 7 {
+		t.Fatalf("Reported = %d after filtering, want 7", st.Reported)
+	}
+}
+
+func TestMultiK3D(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 5, Objects: 500, Dim: 3, Vocab: 12, DocLen: 4})
+	m, err := BuildMultiK(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 10; trial++ {
+		q := workload.RandRect(rng, 3, 0.7)
+		ws := workload.RandKeywords(rng, 12, 2+trial%2)
+		got, _, err := m.Collect(q, ws, QueryOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalIDs(t, got, ds.Filter(q, ws), "multik-3d")
+	}
+}
+
+func TestMultiKSpace(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 6, Objects: 200, Dim: 2, Vocab: 20, DocLen: 4})
+	m, err := BuildMultiK(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Space().TotalWords(64) <= 0 {
+		t.Fatal("space audit empty")
+	}
+}

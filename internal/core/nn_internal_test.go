@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"kwsc/internal/geom"
+	"kwsc/internal/workload"
+)
+
+// kthCandidate must return exactly the i-th smallest candidate radius (the
+// coordinate differences of Corollary 4's proof), verified against explicit
+// enumeration.
+func TestKthCandidateExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(60)
+		dim := 1 + rng.Intn(3)
+		ds := workload.Gen(workload.Config{Seed: int64(trial), Objects: n, Dim: dim, Vocab: 8, DocLen: 3})
+		ix, err := BuildLinfNN(ds, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := make(geom.Point, dim)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		// Enumerate all candidates.
+		var cands []float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < dim; j++ {
+				cands = append(cands, math.Abs(q[j]-ds.Point(int32(i))[j]))
+			}
+		}
+		sort.Float64s(cands)
+		maxR := cands[len(cands)-1]
+		for _, i := range []int64{1, 2, int64(len(cands) / 2), int64(len(cands))} {
+			got := ix.kthCandidate(q, i, maxR)
+			want := cands[i-1]
+			if math.Abs(got-want) > 1e-12*(1+want) {
+				t.Fatalf("trial %d: kthCandidate(%d) = %v, want %v", trial, i, got, want)
+			}
+		}
+		// countCandidates is the exact inverse in the float model (both
+		// sides compute the same fl(|q_j - x|) values).
+		for _, r := range []float64{0, cands[0], cands[len(cands)/3], maxR} {
+			wantExact := int64(0)
+			for _, c := range cands {
+				if c <= r {
+					wantExact++
+				}
+			}
+			if got := ix.countCandidates(q, r); got != wantExact {
+				t.Fatalf("trial %d: countCandidates(%v) = %d, want %d",
+					trial, r, got, wantExact)
+			}
+		}
+	}
+}
+
+// nextCandidate walks the distinct candidate values in increasing order.
+func TestNextCandidateWalk(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 3, Objects: 30, Dim: 2, Vocab: 8, DocLen: 3})
+	ix, err := BuildLinfNN(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.Point{0.5, 0.5}
+	var cands []float64
+	for i := 0; i < ds.Len(); i++ {
+		for j := 0; j < 2; j++ {
+			cands = append(cands, math.Abs(q[j]-ds.Point(int32(i))[j]))
+		}
+	}
+	sort.Float64s(cands)
+	// Distinct values.
+	distinct := cands[:0]
+	for _, c := range cands {
+		if len(distinct) == 0 || c > distinct[len(distinct)-1] {
+			distinct = append(distinct, c)
+		}
+	}
+	r := -1.0
+	for _, want := range distinct {
+		got := ix.nextCandidate(q, r)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("nextCandidate(%v) = %v, want %v", r, got, want)
+		}
+		r = got
+	}
+	if last := ix.nextCandidate(q, r); !math.IsInf(last, 1) {
+		t.Fatalf("walk past the end returned %v, want +Inf", last)
+	}
+}
+
+// The NN search with t = |D(kw)| + large returns the whole filtered set.
+func TestLinfNNWantsMoreThanExists(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 4, Objects: 100, Dim: 2, Vocab: 6, DocLen: 3})
+	ix, err := BuildLinfNN(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	match := ds.Filter(geom.FullSpace{}, []uint32{0, 1})
+	res, _, err := ix.Query(geom.Point{0.5, 0.5}, len(match)+50, []uint32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(match) {
+		t.Fatalf("oversized t: got %d, want %d", len(res), len(match))
+	}
+}
+
+// t validation and dimension validation on both NN searches.
+func TestNNValidation(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 5, Objects: 50, Dim: 2, Vocab: 6, DocLen: 3})
+	linf, err := BuildLinfNN(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := linf.Query(geom.Point{0.5, 0.5}, 0, []uint32{0, 1}); err == nil {
+		t.Fatal("t=0 must be rejected")
+	}
+	if _, _, err := linf.Query(geom.Point{0.5}, 1, []uint32{0, 1}); err == nil {
+		t.Fatal("wrong dimension must be rejected")
+	}
+	if _, _, err := linf.Query(geom.Point{0.5, 0.5}, 1, []uint32{0}); err == nil {
+		t.Fatal("wrong arity must be rejected")
+	}
+	gds := workload.Gen(workload.Config{Seed: 6, Objects: 50, Dim: 2, Vocab: 6, DocLen: 3, Points: "grid", GridSide: 100})
+	l2, err := BuildL2NN(gds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l2.Query(geom.Point{1, 1}, 0, []uint32{0, 1}); err == nil {
+		t.Fatal("t=0 must be rejected")
+	}
+	if _, _, err := l2.Query(geom.Point{1}, 1, []uint32{0, 1}); err == nil {
+		t.Fatal("wrong dimension must be rejected")
+	}
+	// Non-integer coordinates rejected at build.
+	if _, err := BuildL2NN(ds, 2); err == nil {
+		t.Fatal("fractional coordinates must be rejected by L2NN")
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+	"kwsc/internal/spart"
+)
+
+// ORPKW is the orthogonal-range-reporting-with-keywords index of Theorem 1:
+// the kd-tree put through the transformation framework, operating in rank
+// space (Step 4, Section 3.4). For d <= 2 it provides the paper's
+// O(N)-space, O(N^{1-1/k} (1 + OUT^{1/k}))-query guarantee; for d >= 3 the
+// same construction still answers correctly but its crossing sensitivity
+// degrades as noted in Section 3.5 — use ORPKWHigh (Theorem 2) there.
+type ORPKW struct {
+	ds *dataset.Dataset
+	rs *dataset.RankSpace
+	fw *Framework
+}
+
+// BuildORPKW constructs the index for queries carrying exactly k keywords.
+func BuildORPKW(ds *dataset.Dataset, k int) (*ORPKW, error) {
+	rs := dataset.NewRankSpace(ds)
+	pts := make([]geom.Point, ds.Len())
+	for i := range pts {
+		pts[i] = rs.RankPoint(int32(i))
+	}
+	fw, err := BuildFramework(ds, FrameworkConfig{
+		K:        k,
+		Splitter: &spart.KD{Dim: ds.Dim()},
+		Points:   pts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix := &ORPKW{ds: ds, rs: rs, fw: fw}
+	ix.fw.space.AuxWords += rs.SpaceWords()
+	return ix, nil
+}
+
+// Query reports every object in q whose document contains all keywords,
+// converting q to rank space in O(log N) first.
+func (ix *ORPKW) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+	if q.Dim() != ix.ds.Dim() {
+		return QueryStats{}, fmt.Errorf("core: query rectangle has dimension %d, index has %d", q.Dim(), ix.ds.Dim())
+	}
+	rq, ok := ix.rs.ToRankRect(q)
+	if !ok {
+		// The rectangle misses every coordinate on some dimension.
+		if err := dataset.ValidateKeywords(ws); err != nil {
+			return QueryStats{}, err
+		}
+		return QueryStats{}, nil
+	}
+	return ix.fw.Query(rq, ws, opts, report)
+}
+
+// Collect is Query returning a slice.
+func (ix *ORPKW) Collect(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts) ([]int32, QueryStats, error) {
+	var out []int32
+	st, err := ix.Query(q, ws, opts, func(id int32) { out = append(out, id) })
+	return out, st, err
+}
+
+// Framework exposes the underlying transformed index (for instrumentation).
+func (ix *ORPKW) Framework() *Framework { return ix.fw }
+
+// RankSpace exposes the rank conversion (for instrumentation and the NN
+// searches of Corollary 4, which binary-search over rank-space rectangles).
+func (ix *ORPKW) RankSpace() *dataset.RankSpace { return ix.rs }
+
+// Space returns the analytic space audit.
+func (ix *ORPKW) Space() SpaceBreakdown { return ix.fw.Space() }
+
+// K returns the keyword arity.
+func (ix *ORPKW) K() int { return ix.fw.K() }

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+	"kwsc/internal/invidx"
+)
+
+// Planner is a cost-based router over the three ways to answer a
+// rectangle+keywords query — the paper's index and the two naive baselines
+// it generalizes. The paper's point is asymptotic domination, but at finite
+// N each strategy has a regime: a very rare keyword makes the posting scan
+// unbeatable, a tiny region makes the geometric filter cheap, and everything
+// else belongs to the framework. The planner applies the paper's own cost
+// formulas as estimates, with the classic independence assumption supplying
+// the output-cardinality estimate:
+//
+//	estOUT          = min(min_w |S_w|, |D| * prod_w (|S_w|/|D|) * sel(q))
+//	keywords-only:   k * min_w |S_w|            (galloping intersection)
+//	structured-only: sel(q) * |D|               (uniformity assumption)
+//	framework:       N^{1-1/k} * (1 + estOUT^{1/k})
+//
+// All three routes return identical results; only cost differs.
+type Planner struct {
+	ds   *dataset.Dataset
+	k    int
+	orp  *ORPKW
+	inv  *invidx.Index
+	so   *StructuredOnly
+	bbox *geom.Rect
+	nPow float64 // N^{1-1/k}
+}
+
+// Route identifies the strategy a plan selected.
+type Route string
+
+// The planner's strategies.
+const (
+	RouteFramework      Route = "framework"       // the paper's index (Theorem 1/2)
+	RouteKeywordsOnly   Route = "keywords-only"   // posting intersection + filter
+	RouteStructuredOnly Route = "structured-only" // geometric filter + keyword check
+)
+
+// Plan records a routing decision.
+type Plan struct {
+	Route     Route
+	Estimates map[Route]float64 // estimated work units per strategy
+}
+
+// BuildPlanner constructs all three strategies for k-keyword queries.
+func BuildPlanner(ds *dataset.Dataset, k int) (*Planner, error) {
+	orp, err := BuildORPKW(ds, k)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]geom.Point, ds.Len())
+	for i := range pts {
+		pts[i] = ds.Point(int32(i))
+	}
+	return &Planner{
+		ds:   ds,
+		k:    k,
+		orp:  orp,
+		inv:  invidx.Build(ds),
+		so:   BuildStructuredOnly(ds, nil),
+		bbox: geom.BoundingRect(pts),
+		nPow: math.Pow(float64(ds.N()), 1-1/float64(k)),
+	}, nil
+}
+
+// Explain estimates each strategy without running anything.
+func (p *Planner) Explain(q *geom.Rect, ws []dataset.Keyword) Plan {
+	minDF := math.MaxFloat64
+	indep := float64(p.ds.Len())
+	for _, w := range ws {
+		df := float64(p.inv.DocFrequency(w))
+		if df < minDF {
+			minDF = df
+		}
+		indep *= df / float64(p.ds.Len())
+	}
+	sel := p.selectivity(q)
+	estOut := math.Min(minDF, indep*sel)
+	est := map[Route]float64{
+		RouteKeywordsOnly:   float64(p.k) * minDF,
+		RouteStructuredOnly: sel * float64(p.ds.Len()),
+		RouteFramework:      p.nPow * (1 + math.Pow(estOut, 1/float64(p.k))),
+	}
+	best := RouteFramework
+	for r, c := range est {
+		if c < est[best] || (c == est[best] && r == RouteKeywordsOnly) {
+			best = r
+		}
+	}
+	return Plan{Route: best, Estimates: est}
+}
+
+// selectivity estimates the fraction of objects inside q under a uniformity
+// assumption over the data bounding box.
+func (p *Planner) selectivity(q *geom.Rect) float64 {
+	frac := 1.0
+	for j := 0; j < p.ds.Dim(); j++ {
+		span := p.bbox.Hi[j] - p.bbox.Lo[j]
+		if span <= 0 {
+			continue
+		}
+		lo := math.Max(q.Lo[j], p.bbox.Lo[j])
+		hi := math.Min(q.Hi[j], p.bbox.Hi[j])
+		if hi <= lo {
+			return 0
+		}
+		frac *= (hi - lo) / span
+	}
+	return frac
+}
+
+// Query routes and executes. The returned plan reports the decision; stats
+// are filled for the framework route (the baselines report only result
+// counts through the plan estimates).
+func (p *Planner) Query(q *geom.Rect, ws []dataset.Keyword, report func(int32)) (Plan, QueryStats, error) {
+	if len(ws) != p.k {
+		return Plan{}, QueryStats{}, fmt.Errorf("core: planner built for k=%d, query has %d keywords", p.k, len(ws))
+	}
+	if err := dataset.ValidateKeywords(ws); err != nil {
+		return Plan{}, QueryStats{}, err
+	}
+	plan := p.Explain(q, ws)
+	switch plan.Route {
+	case RouteKeywordsOnly:
+		for _, id := range p.inv.KeywordsOnly(q, ws) {
+			report(id)
+		}
+		return plan, QueryStats{}, nil
+	case RouteStructuredOnly:
+		ids, _, _ := p.so.Query(q, ws)
+		for _, id := range ids {
+			report(id)
+		}
+		return plan, QueryStats{}, nil
+	default:
+		st, err := p.orp.Query(q, ws, QueryOpts{}, report)
+		return plan, st, err
+	}
+}
+
+// Collect is Query returning a slice.
+func (p *Planner) Collect(q *geom.Rect, ws []dataset.Keyword) ([]int32, Plan, error) {
+	var out []int32
+	plan, _, err := p.Query(q, ws, func(id int32) { out = append(out, id) })
+	return out, plan, err
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+	"kwsc/internal/spart"
+)
+
+// QueryOpts tunes a framework query.
+type QueryOpts struct {
+	// Limit stops the query after reporting this many objects (0 = all).
+	// The L∞NN-KW and L2NN-KW searches (Corollaries 4 and 7) use it to
+	// implement the "terminate manually once t results are found" step.
+	Limit int
+	// Budget stops the query after this many work units (pivot checks,
+	// materialized-list scans and node visits; 0 = unlimited). It realizes
+	// the paper's manual-termination argument for emptiness queries
+	// (footnote 4).
+	Budget int64
+}
+
+// QueryStats instruments one query; Ops is the machine-independent cost in
+// work units, which is what the complexity experiments fit exponents on.
+type QueryStats struct {
+	NodesVisited  int
+	CoveredNodes  int   // visited nodes with cell fully covered by q
+	CrossingNodes int   // visited nodes with cell crossing q's boundary
+	PivotChecks   int64 // objects examined in pivot sets
+	MatScanned    int64 // objects examined in materialized small lists
+	Reported      int
+	Ops           int64
+	Truncated     bool // stopped by Limit
+	BudgetHit     bool // stopped by Budget
+
+	// Dimension-reduction instrumentation (Section 4 / Figure 2): counts of
+	// type-1 nodes (sigma(u) contained in q's x-range; answered by the
+	// secondary structure) and type-2 nodes (answered by pivot scans).
+	Type1Nodes int
+	Type2Nodes int
+}
+
+// add merges st2 into st (used when a query spans secondary structures).
+func (st *QueryStats) add(o QueryStats) {
+	st.NodesVisited += o.NodesVisited
+	st.CoveredNodes += o.CoveredNodes
+	st.CrossingNodes += o.CrossingNodes
+	st.PivotChecks += o.PivotChecks
+	st.MatScanned += o.MatScanned
+	st.Reported += o.Reported
+	st.Ops += o.Ops
+	st.Truncated = st.Truncated || o.Truncated
+	st.BudgetHit = st.BudgetHit || o.BudgetHit
+	st.Type1Nodes += o.Type1Nodes
+	st.Type2Nodes += o.Type2Nodes
+}
+
+// Query answers a region-plus-keywords query (Section 3.3's algorithm):
+// report every object whose point lies in q and whose document contains all
+// k keywords. The keyword tuple must contain exactly the arity k the index
+// was built with, with no duplicates.
+func (f *Framework) Query(q geom.Region, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+	if len(ws) != f.k {
+		return QueryStats{}, fmt.Errorf("core: query carries %d keywords but the index was built for k=%d", len(ws), f.k)
+	}
+	if err := dataset.ValidateKeywords(ws); err != nil {
+		return QueryStats{}, err
+	}
+	qc := &qctx{f: f, q: q, ws: ws, opts: opts, report: report}
+	if len(f.nodes) > 0 {
+		rel := f.split.Relate(f.nodes[0].cell, q)
+		if rel != geom.Disjoint {
+			qc.visit(0, rel)
+		}
+	}
+	return qc.st, nil
+}
+
+// Collect is Query returning a slice of object ids.
+func (f *Framework) Collect(q geom.Region, ws []dataset.Keyword, opts QueryOpts) ([]int32, QueryStats, error) {
+	var out []int32
+	st, err := f.Query(q, ws, opts, func(id int32) { out = append(out, id) })
+	return out, st, err
+}
+
+type qctx struct {
+	f      *Framework
+	q      geom.Region
+	ws     []dataset.Keyword
+	opts   QueryOpts
+	report func(int32)
+	st     QueryStats
+	done   bool
+	sorted []int32 // scratch for tensor index
+}
+
+func (qc *qctx) stop() bool {
+	if qc.done {
+		return true
+	}
+	if qc.opts.Limit > 0 && qc.st.Reported >= qc.opts.Limit {
+		qc.st.Truncated = true
+		qc.done = true
+		return true
+	}
+	if qc.opts.Budget > 0 && qc.st.Ops > qc.opts.Budget {
+		qc.st.BudgetHit = true
+		qc.done = true
+		return true
+	}
+	return false
+}
+
+func (qc *qctx) emit(id int32) {
+	qc.report(id)
+	qc.st.Reported++
+}
+
+// checkAndEmit examines one candidate object.
+func (qc *qctx) checkAndEmit(id int32, covered bool) {
+	if (covered || qc.q.ContainsPoint(qc.f.pts[id])) && qc.f.ds.HasAll(id, qc.ws) {
+		qc.emit(id)
+	}
+}
+
+func (qc *qctx) visit(u int32, rel geom.Relation) {
+	if qc.stop() {
+		return
+	}
+	f := qc.f
+	n := &f.nodes[u]
+	qc.st.NodesVisited++
+	qc.st.Ops++
+	covered := rel == geom.Covered
+	if covered {
+		qc.st.CoveredNodes++
+	} else {
+		qc.st.CrossingNodes++
+	}
+
+	if len(n.children) == 0 {
+		// Leaf: the pivot set is the whole active set.
+		for _, id := range n.pivots {
+			qc.st.PivotChecks++
+			qc.st.Ops++
+			qc.checkAndEmit(id, covered)
+			if qc.stop() {
+				return
+			}
+		}
+		return
+	}
+
+	// Use T_u to decide, in O(k) time, whether every query keyword is large
+	// at u. If some keyword is small, its materialized list D_u^act(w) is
+	// scanned and the subtree is never descended (Section 3.3); qualifying
+	// pivots of u are contained in that list, so they need no separate scan.
+	smallW := dataset.Keyword(0)
+	smallLen := -1
+	allLarge := true
+	for _, w := range qc.ws {
+		if _, ok := n.large[w]; !ok {
+			allLarge = false
+			l := len(n.mat[w])
+			if smallLen < 0 || l < smallLen {
+				smallW, smallLen = w, l
+			}
+		}
+	}
+	if !allLarge {
+		for _, id := range n.mat[smallW] {
+			qc.st.MatScanned++
+			qc.st.Ops++
+			qc.checkAndEmit(id, covered)
+			if qc.stop() {
+				return
+			}
+		}
+		return
+	}
+
+	// All keywords large: examine the pivots, then descend into children
+	// whose non-emptiness bit is set and whose cell meets q.
+	for _, id := range n.pivots {
+		qc.st.PivotChecks++
+		qc.st.Ops++
+		qc.checkAndEmit(id, covered)
+		if qc.stop() {
+			return
+		}
+	}
+	if cap(qc.sorted) < f.k {
+		qc.sorted = make([]int32, f.k)
+	}
+	s := qc.sorted[:0]
+	for _, w := range qc.ws {
+		s = append(s, n.large[w])
+	}
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	lin := tensorIndex(s, int(n.l))
+	for ci, child := range n.children {
+		if !n.tensors[ci].Get(int(lin)) {
+			continue
+		}
+		crel := geom.Covered
+		if !covered {
+			crel = f.split.Relate(f.nodes[child].cell, qc.q)
+			if crel == geom.Disjoint {
+				continue
+			}
+		}
+		qc.visit(child, crel)
+		if qc.done {
+			return
+		}
+	}
+}
+
+// CrossingCost replays a query and returns the crossing-sensitivity of
+// expression (7): the number of internal crossing nodes plus
+// sum N_z^{1-1/k} over the crossing leaves of the query tree, where a
+// "leaf of T_qry" is any visited node at which the descent stopped.
+// It is used by the F1/E6b experiments.
+func (f *Framework) CrossingCost(q geom.Region, ws []dataset.Keyword) (float64, error) {
+	if err := dataset.ValidateKeywords(ws); err != nil {
+		return 0, err
+	}
+	var cost float64
+	exp := 1 - 1/float64(f.k)
+	var rec func(u int32)
+	rec = func(u int32) {
+		n := &f.nodes[u]
+		// Does the descent stop here?
+		stopsHere := len(n.children) == 0
+		if !stopsHere {
+			for _, w := range ws {
+				if _, ok := n.large[w]; !ok {
+					stopsHere = true
+					break
+				}
+			}
+		}
+		if stopsHere {
+			cost += pow(float64(n.nu), exp)
+			return
+		}
+		cost++
+		s := make([]int32, 0, f.k)
+		for _, w := range ws {
+			s = append(s, n.large[w])
+		}
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		lin := tensorIndex(s, int(n.l))
+		for ci, child := range n.children {
+			if !n.tensors[ci].Get(int(lin)) {
+				continue
+			}
+			if f.split.Relate(f.nodes[child].cell, q) == geom.Crossing {
+				rec(child)
+			}
+		}
+	}
+	if len(f.nodes) > 0 && f.split.Relate(f.nodes[0].cell, q) == geom.Crossing {
+		rec(0)
+	}
+	return cost, nil
+}
+
+func pow(x, e float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, e)
+}
+
+var _ = spart.PivotChild

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+)
+
+// RRKW is the rectangle-reporting-with-keywords index of Corollary 3. Data
+// rectangles [a1,b1] x ... x [ad,bd] are mapped to the 2d-dimensional corner
+// points (a1, b1, ..., ad, bd); a query rectangle [x1,y1] x ... x [xd,yd]
+// intersects a data rectangle iff the corner point falls in
+// (-inf, y1] x [x1, +inf) x ... (Appendix F), so an RR-KW query becomes a
+// 2d-dimensional ORP-KW query. For d = 1 — the temporal-document setting of
+// [7] — the corner space is 2-dimensional and Theorem 1 applies directly;
+// for d >= 2 the index routes through the dimension-reduction structure of
+// Theorem 2.
+type RRKW struct {
+	d     int
+	rects []*geom.Rect
+	low   *ORPKW     // corner dimension 2 (d = 1)
+	high  *ORPKWHigh // corner dimension >= 4 (d >= 2)
+	ds    *dataset.Dataset
+}
+
+// RectObject is one input element of RR-KW: a d-rectangle plus a document.
+type RectObject struct {
+	Rect *geom.Rect
+	Doc  []dataset.Keyword
+}
+
+// BuildRRKW constructs the index for k-keyword queries.
+func BuildRRKW(rects []RectObject, k int) (*RRKW, error) {
+	if len(rects) == 0 {
+		return nil, fmt.Errorf("core: RR-KW needs at least one rectangle")
+	}
+	d := rects[0].Rect.Dim()
+	objs := make([]dataset.Object, len(rects))
+	geomRects := make([]*geom.Rect, len(rects))
+	for i, r := range rects {
+		if r.Rect.Dim() != d {
+			return nil, fmt.Errorf("core: rectangle %d has dimension %d, want %d", i, r.Rect.Dim(), d)
+		}
+		corner := make(geom.Point, 2*d)
+		for j := 0; j < d; j++ {
+			corner[2*j] = r.Rect.Lo[j]
+			corner[2*j+1] = r.Rect.Hi[j]
+		}
+		objs[i] = dataset.Object{Point: corner, Doc: r.Doc}
+		geomRects[i] = r.Rect
+	}
+	ds, err := dataset.New(objs)
+	if err != nil {
+		return nil, err
+	}
+	ix := &RRKW{d: d, rects: geomRects, ds: ds}
+	if 2*d <= 2 {
+		ix.low, err = BuildORPKW(ds, k)
+	} else {
+		ix.high, err = BuildORPKWHigh(ds, k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// cornerQuery maps a d-dimensional query rectangle to the 2d-dimensional
+// corner-space rectangle of Appendix F.
+func (ix *RRKW) cornerQuery(q *geom.Rect) *geom.Rect {
+	lo := make([]float64, 2*ix.d)
+	hi := make([]float64, 2*ix.d)
+	for j := 0; j < ix.d; j++ {
+		lo[2*j], hi[2*j] = math.Inf(-1), q.Hi[j]    // a_j <= y_j
+		lo[2*j+1], hi[2*j+1] = q.Lo[j], math.Inf(1) // b_j >= x_j
+	}
+	return &geom.Rect{Lo: lo, Hi: hi}
+}
+
+// Query reports every data rectangle intersecting q whose document contains
+// all keywords.
+func (ix *RRKW) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+	if q.Dim() != ix.d {
+		return QueryStats{}, fmt.Errorf("core: query rectangle has dimension %d, index has %d", q.Dim(), ix.d)
+	}
+	cq := ix.cornerQuery(q)
+	if ix.low != nil {
+		return ix.low.Query(cq, ws, opts, report)
+	}
+	return ix.high.Query(cq, ws, opts, report)
+}
+
+// Collect is Query returning a slice.
+func (ix *RRKW) Collect(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts) ([]int32, QueryStats, error) {
+	var out []int32
+	st, err := ix.Query(q, ws, opts, func(id int32) { out = append(out, id) })
+	return out, st, err
+}
+
+// Rect returns data rectangle i.
+func (ix *RRKW) Rect(i int32) *geom.Rect { return ix.rects[i] }
+
+// Dataset returns the corner-point dataset of the reduction.
+func (ix *RRKW) Dataset() *dataset.Dataset { return ix.ds }
+
+// Space returns the analytic space audit.
+func (ix *RRKW) Space() SpaceBreakdown {
+	if ix.low != nil {
+		return ix.low.Space()
+	}
+	return ix.high.Space()
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+	"kwsc/internal/spart"
+)
+
+// SPKW is the simplex/linear-conjunction reporting index of Theorem 12 and
+// Theorem 5 (Appendix D): a partition tree put through the transformation
+// framework, on raw coordinates. The splitter is the Willard ham-sandwich
+// partition tree for d = 2 and the box tree for d >= 3 (see DESIGN.md,
+// substitution 1, for how these stand in for Chan's optimal partition tree).
+// One index answers all of:
+//
+//   - SP-KW: a d-simplex plus keywords (QuerySimplex);
+//   - LC-KW: s = O(1) linear constraints plus keywords (QueryConstraints) —
+//     the paper triangulates the constraint polyhedron into simplices, but
+//     the framework's cell tests work on any convex region, so the
+//     polyhedron is queried directly, avoiding boundary double-reporting;
+//   - any convex Region (QueryRegion), which the SRP-KW ablation uses to run
+//     sphere queries without lifting.
+type SPKW struct {
+	ds *dataset.Dataset
+	fw *Framework
+}
+
+// SPKWConfig controls construction.
+type SPKWConfig struct {
+	// K is the query keyword arity (k >= 2).
+	K int
+	// Splitter overrides the default substrate (Willard2D for d == 2,
+	// Box otherwise). The Grid2D splitter plugs in here for the E6b
+	// crossing-sensitivity ablation.
+	Splitter spart.Splitter
+	// Points overrides the partitioning coordinates (the lifting reduction
+	// of Corollary 6 passes lifted points of dimension d+1).
+	Points []geom.Point
+}
+
+// BuildSPKW constructs the index.
+func BuildSPKW(ds *dataset.Dataset, cfg SPKWConfig) (*SPKW, error) {
+	dim := ds.Dim()
+	if cfg.Points != nil {
+		dim = len(cfg.Points[0])
+	}
+	split := cfg.Splitter
+	if split == nil {
+		if dim == 2 {
+			split = &spart.Willard2D{}
+		} else {
+			split = &spart.Box{Dim: dim}
+		}
+	}
+	fw, err := BuildFramework(ds, FrameworkConfig{
+		K:        cfg.K,
+		Splitter: split,
+		Points:   cfg.Points,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SPKW{ds: ds, fw: fw}, nil
+}
+
+// QuerySimplex answers an SP-KW query: report the objects inside the
+// d-simplex whose documents contain all keywords.
+func (ix *SPKW) QuerySimplex(s *geom.Simplex, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+	ph, err := s.Polyhedron()
+	if err != nil {
+		return QueryStats{}, err
+	}
+	return ix.fw.Query(ph, ws, opts, report)
+}
+
+// QueryConstraints answers an LC-KW query: report the objects satisfying
+// every linear constraint whose documents contain all keywords.
+func (ix *SPKW) QueryConstraints(hs []geom.Halfspace, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+	if len(hs) == 0 {
+		return QueryStats{}, fmt.Errorf("core: LC-KW query needs at least one constraint")
+	}
+	return ix.fw.Query(geom.NewPolyhedron(hs...), ws, opts, report)
+}
+
+// QueryRegion answers a query against an arbitrary convex region.
+func (ix *SPKW) QueryRegion(q geom.Region, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+	return ix.fw.Query(q, ws, opts, report)
+}
+
+// CollectConstraints is QueryConstraints returning a slice.
+func (ix *SPKW) CollectConstraints(hs []geom.Halfspace, ws []dataset.Keyword, opts QueryOpts) ([]int32, QueryStats, error) {
+	var out []int32
+	st, err := ix.QueryConstraints(hs, ws, opts, func(id int32) { out = append(out, id) })
+	return out, st, err
+}
+
+// Framework exposes the underlying transformed index.
+func (ix *SPKW) Framework() *Framework { return ix.fw }
+
+// Space returns the analytic space audit.
+func (ix *SPKW) Space() SpaceBreakdown { return ix.fw.Space() }
+
+// K returns the keyword arity.
+func (ix *SPKW) K() int { return ix.fw.K() }
+
+// QueryConstraintsViaSimplices answers an LC-KW query the way the paper's
+// Appendix D reduction describes it: materialize the constraint polyhedron
+// (clipped to the data's bounding box), partition it into simplices, query
+// each, and de-duplicate objects on shared triangle edges. It returns the
+// same results as QueryConstraints, which queries the polyhedron directly;
+// both are exposed so the reduction itself is testable. Only d = 2 is
+// supported (the materialization uses polygon clipping).
+func (ix *SPKW) QueryConstraintsViaSimplices(hs []geom.Halfspace, ws []dataset.Keyword, report func(int32)) (QueryStats, error) {
+	if ix.ds.Dim() != 2 {
+		return QueryStats{}, fmt.Errorf("core: simplex-partition route supports d=2 only, dataset has d=%d", ix.ds.Dim())
+	}
+	if len(hs) == 0 {
+		return QueryStats{}, fmt.Errorf("core: LC-KW query needs at least one constraint")
+	}
+	pts := make([]geom.Point, ix.ds.Len())
+	for i := range pts {
+		pts[i] = ix.ds.Point(int32(i))
+	}
+	bound := geom.BoundingRect(pts)
+	pad := 1.0
+	for j := range bound.Lo {
+		bound.Lo[j] -= pad
+		bound.Hi[j] += pad
+	}
+	poly := geom.ClipPolyhedron2D(geom.NewPolyhedron(hs...), bound)
+	var total QueryStats
+	seen := make(map[int32]struct{})
+	for _, tri := range poly.FanTriangulate() {
+		st, err := ix.QuerySimplex(tri, ws, QueryOpts{}, func(id int32) {
+			if _, dup := seen[id]; dup {
+				return
+			}
+			seen[id] = struct{}{}
+			report(id)
+		})
+		total.add(st)
+		if err != nil {
+			return total, err
+		}
+	}
+	total.Reported = len(seen)
+	return total, nil
+}

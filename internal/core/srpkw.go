@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+)
+
+// SRPKW is the spherical-range-reporting-with-keywords index of Corollary 6:
+// points are lifted to the paraboloid in R^{d+1} (Appendix F), turning a
+// d-dimensional sphere query into a single-halfspace LC-KW query answered by
+// the SP-KW index in dimension d+1.
+type SRPKW struct {
+	ds  *dataset.Dataset
+	sp  *SPKW
+	dim int
+}
+
+// BuildSRPKW constructs the lifted index for k-keyword queries.
+func BuildSRPKW(ds *dataset.Dataset, k int) (*SRPKW, error) {
+	lifted := make([]geom.Point, ds.Len())
+	for i := range lifted {
+		lifted[i] = geom.Lift(ds.Point(int32(i)))
+	}
+	sp, err := BuildSPKW(ds, SPKWConfig{K: k, Points: lifted})
+	if err != nil {
+		return nil, err
+	}
+	return &SRPKW{ds: ds, sp: sp, dim: ds.Dim()}, nil
+}
+
+// Query reports every object inside the sphere whose document contains all
+// keywords.
+func (ix *SRPKW) Query(s *geom.Sphere, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+	if s.Dim() != ix.dim {
+		return QueryStats{}, fmt.Errorf("core: sphere of dimension %d against index of dimension %d", s.Dim(), ix.dim)
+	}
+	hs := geom.LiftSphere(s)
+	return ix.sp.QueryConstraints([]geom.Halfspace{hs}, ws, opts, report)
+}
+
+// QuerySq is Query for a sphere given by its squared radius; the L2NN-KW
+// search of Corollary 7 uses it to binary-search exact integer squared
+// distances.
+func (ix *SRPKW) QuerySq(center geom.Point, radiusSq float64, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+	hs := geom.LiftSphereSq(center, radiusSq)
+	return ix.sp.QueryConstraints([]geom.Halfspace{hs}, ws, opts, report)
+}
+
+// Collect is Query returning a slice.
+func (ix *SRPKW) Collect(s *geom.Sphere, ws []dataset.Keyword, opts QueryOpts) ([]int32, QueryStats, error) {
+	var out []int32
+	st, err := ix.Query(s, ws, opts, func(id int32) { out = append(out, id) })
+	return out, st, err
+}
+
+// Space returns the analytic space audit.
+func (ix *SRPKW) Space() SpaceBreakdown { return ix.sp.Space() }
+
+// K returns the keyword arity.
+func (ix *SRPKW) K() int { return ix.sp.K() }

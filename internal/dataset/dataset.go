@@ -1,0 +1,173 @@
+// Package dataset defines the input data model shared by every problem in
+// the paper (Section 1.1): a set D of objects, each carrying a point in R^d
+// and a non-empty document e.Doc formulated as a set of integer keywords.
+// The input size is N = sum_e |e.Doc| (equation (2)), and W is the number of
+// distinct keywords; w.l.o.g. keywords are integers in [0, W).
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"kwsc/internal/bits"
+	"kwsc/internal/geom"
+)
+
+// Keyword is an integer keyword. The paper treats keywords as integers in
+// [1, W]; we use [0, W).
+type Keyword = uint32
+
+// Object is one element of D: a point plus its document.
+type Object struct {
+	Point geom.Point
+	Doc   []Keyword
+}
+
+// Dataset is a validated, immutable input instance.
+type Dataset struct {
+	objs    []Object
+	n       int64 // N = sum |Doc|
+	w       int   // vocabulary bound: keywords < w
+	dim     int
+	docSets []*bits.U32Set // per-object O(1) membership (footnote 9)
+}
+
+// ErrEmpty is returned when constructing a dataset with no objects.
+var ErrEmpty = errors.New("dataset: no objects")
+
+// New validates the objects and builds the dataset. Documents are sorted and
+// de-duplicated in place. Every object must have a non-empty document and a
+// point of the same dimensionality.
+func New(objs []Object) (*Dataset, error) {
+	if len(objs) == 0 {
+		return nil, ErrEmpty
+	}
+	dim := len(objs[0].Point)
+	if dim == 0 {
+		return nil, errors.New("dataset: zero-dimensional points")
+	}
+	ds := &Dataset{objs: objs, dim: dim}
+	maxW := Keyword(0)
+	for i := range objs {
+		o := &objs[i]
+		if len(o.Point) != dim {
+			return nil, fmt.Errorf("dataset: object %d has dimension %d, want %d", i, len(o.Point), dim)
+		}
+		if len(o.Doc) == 0 {
+			return nil, fmt.Errorf("dataset: object %d has an empty document", i)
+		}
+		sort.Slice(o.Doc, func(a, b int) bool { return o.Doc[a] < o.Doc[b] })
+		o.Doc = dedupe(o.Doc)
+		ds.n += int64(len(o.Doc))
+		if last := o.Doc[len(o.Doc)-1]; last >= maxW {
+			maxW = last + 1
+		}
+	}
+	ds.w = int(maxW)
+	ds.docSets = make([]*bits.U32Set, len(objs))
+	for i := range objs {
+		ds.docSets[i] = bits.NewU32Set(objs[i].Doc)
+	}
+	return ds, nil
+}
+
+// MustNew is New that panics on error; intended for tests and examples.
+func MustNew(objs []Object) *Dataset {
+	ds, err := New(objs)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// Len returns the number of objects |D|.
+func (ds *Dataset) Len() int { return len(ds.objs) }
+
+// N returns the input size N = sum_e |e.Doc| (equation (2)).
+func (ds *Dataset) N() int64 { return ds.n }
+
+// W returns an upper bound on keyword values (all keywords are < W).
+func (ds *Dataset) W() int { return ds.w }
+
+// Dim returns the dimensionality of the points.
+func (ds *Dataset) Dim() int { return ds.dim }
+
+// Object returns object i.
+func (ds *Dataset) Object(i int32) *Object { return &ds.objs[i] }
+
+// Point returns the point of object i.
+func (ds *Dataset) Point(i int32) geom.Point { return ds.objs[i].Point }
+
+// Doc returns the (sorted, de-duplicated) document of object i.
+func (ds *Dataset) Doc(i int32) []Keyword { return ds.objs[i].Doc }
+
+// DocLen returns |e.Doc| for object i — the object's weight in the verbose
+// set of Section 3.2.
+func (ds *Dataset) DocLen(i int32) int32 { return int32(len(ds.objs[i].Doc)) }
+
+// Has reports whether keyword w appears in object i's document, in O(1)
+// expected time.
+func (ds *Dataset) Has(i int32, w Keyword) bool { return ds.docSets[i].Contains(w) }
+
+// HasAll reports whether object i's document contains every keyword in ws —
+// the membership test of D(w1,...,wk) in equation (1).
+func (ds *Dataset) HasAll(i int32, ws []Keyword) bool {
+	for _, w := range ws {
+		if !ds.docSets[i].Contains(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// DocSpaceWords returns the total space of the per-object hash tables in
+// words (the O(N) cost noted in footnote 9).
+func (ds *Dataset) DocSpaceWords() int64 {
+	var s int64
+	for _, t := range ds.docSets {
+		s += t.SpaceWords()
+	}
+	return s
+}
+
+// ValidateKeywords checks a query keyword tuple: it must have at least two
+// distinct keywords (the paper fixes k >= 2) and no duplicates.
+func ValidateKeywords(ws []Keyword) error {
+	if len(ws) < 2 {
+		return fmt.Errorf("dataset: query needs k >= 2 keywords, got %d", len(ws))
+	}
+	seen := make(map[Keyword]struct{}, len(ws))
+	for _, w := range ws {
+		if _, dup := seen[w]; dup {
+			return fmt.Errorf("dataset: duplicate query keyword %d", w)
+		}
+		seen[w] = struct{}{}
+	}
+	return nil
+}
+
+// Filter returns, by brute force, the ids of all objects whose documents
+// contain every keyword in ws and whose points lie in region q. This is the
+// ground-truth oracle used by the test suite and the final stage of the
+// naive baselines.
+func (ds *Dataset) Filter(q geom.Region, ws []Keyword) []int32 {
+	var out []int32
+	for i := range ds.objs {
+		id := int32(i)
+		if ds.HasAll(id, ws) && q.ContainsPoint(ds.objs[i].Point) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func dedupe(ws []Keyword) []Keyword {
+	out := ws[:1]
+	for _, w := range ws[1:] {
+		if w != out[len(out)-1] {
+			out = append(out, w)
+		}
+	}
+	return out
+}

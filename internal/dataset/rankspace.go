@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+
+	"kwsc/internal/geom"
+)
+
+// RankSpace implements Step 4 of the transformation framework (Section 3.4):
+// it removes the general-position assumption by converting coordinates to
+// ranks. Objects are sorted on each dimension with ties broken by the object
+// with the smaller id, so every object receives a distinct integer rank per
+// dimension. A query rectangle in the original space converts to a rank-space
+// rectangle in O(log N) time by binary search, without affecting the result.
+type RankSpace struct {
+	dim    int
+	sorted [][]float64 // per dim: coordinate values in rank order
+	ranks  [][]int32   // per dim, per object: the object's rank
+}
+
+// NewRankSpace builds the rank-space conversion for the dataset.
+func NewRankSpace(ds *Dataset) *RankSpace {
+	d := ds.Dim()
+	n := ds.Len()
+	rs := &RankSpace{
+		dim:    d,
+		sorted: make([][]float64, d),
+		ranks:  make([][]int32, d),
+	}
+	order := make([]int32, n)
+	for j := 0; j < d; j++ {
+		for i := range order {
+			order[i] = int32(i)
+		}
+		sort.Slice(order, func(a, b int) bool {
+			pa, pb := ds.Point(order[a])[j], ds.Point(order[b])[j]
+			if pa != pb {
+				return pa < pb
+			}
+			return order[a] < order[b]
+		})
+		rs.sorted[j] = make([]float64, n)
+		rs.ranks[j] = make([]int32, n)
+		for r, id := range order {
+			rs.sorted[j][r] = ds.Point(id)[j]
+			rs.ranks[j][id] = int32(r)
+		}
+	}
+	return rs
+}
+
+// Dim returns the dimensionality.
+func (rs *RankSpace) Dim() int { return rs.dim }
+
+// Rank returns object i's rank on dimension j.
+func (rs *RankSpace) Rank(i int32, j int) int32 { return rs.ranks[j][i] }
+
+// RankPoint returns object i's point in rank space.
+func (rs *RankSpace) RankPoint(i int32) geom.Point {
+	p := make(geom.Point, rs.dim)
+	for j := 0; j < rs.dim; j++ {
+		p[j] = float64(rs.ranks[j][i])
+	}
+	return p
+}
+
+// ToRankRect converts an original-space rectangle to rank space. ok=false
+// means the rectangle contains no object on some dimension (the query result
+// is empty). Correctness relies on ties being broken consistently: all
+// objects whose coordinate lies in [lo, hi] occupy a contiguous rank range.
+func (rs *RankSpace) ToRankRect(q *geom.Rect) (_ *geom.Rect, ok bool) {
+	lo := make([]float64, rs.dim)
+	hi := make([]float64, rs.dim)
+	for j := 0; j < rs.dim; j++ {
+		s := rs.sorted[j]
+		var lr, hr int
+		if math.IsInf(q.Lo[j], -1) {
+			lr = 0
+		} else {
+			lr = sort.SearchFloat64s(s, q.Lo[j]) // first rank with coord >= lo
+		}
+		if math.IsInf(q.Hi[j], 1) {
+			hr = len(s) - 1
+		} else {
+			hr = sort.Search(len(s), func(r int) bool { return s[r] > q.Hi[j] }) - 1
+		}
+		if lr > hr {
+			return nil, false
+		}
+		lo[j], hi[j] = float64(lr), float64(hr)
+	}
+	return &geom.Rect{Lo: lo, Hi: hi}, true
+}
+
+// SpaceWords returns the footprint of the conversion tables in words.
+func (rs *RankSpace) SpaceWords() int64 {
+	var s int64
+	for j := 0; j < rs.dim; j++ {
+		s += int64(len(rs.sorted[j])) + int64(len(rs.ranks[j]))/2
+	}
+	return s
+}

@@ -1,0 +1,61 @@
+package dataset
+
+import "sort"
+
+// Vocabulary maps string keywords to the dense integer ids the indexes
+// operate on. The paper treats keywords as integers in [1, W] w.l.o.g.
+// (Section 3.2); this is the "w.l.o.g." made concrete for callers whose
+// documents are words.
+type Vocabulary struct {
+	ids   map[string]Keyword
+	words []string
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{ids: make(map[string]Keyword)}
+}
+
+// ID interns the word, returning its stable keyword id.
+func (v *Vocabulary) ID(word string) Keyword {
+	if id, ok := v.ids[word]; ok {
+		return id
+	}
+	id := Keyword(len(v.words))
+	v.ids[word] = id
+	v.words = append(v.words, word)
+	return id
+}
+
+// Lookup returns the id of a word without interning it.
+func (v *Vocabulary) Lookup(word string) (Keyword, bool) {
+	id, ok := v.ids[word]
+	return id, ok
+}
+
+// Word returns the word of an id; ok=false for unknown ids.
+func (v *Vocabulary) Word(id Keyword) (string, bool) {
+	if int(id) >= len(v.words) {
+		return "", false
+	}
+	return v.words[id], true
+}
+
+// Len returns the number of interned words.
+func (v *Vocabulary) Len() int { return len(v.words) }
+
+// Doc interns every word and returns the keyword document.
+func (v *Vocabulary) Doc(words ...string) []Keyword {
+	doc := make([]Keyword, len(words))
+	for i, w := range words {
+		doc[i] = v.ID(w)
+	}
+	return doc
+}
+
+// Words returns all interned words, sorted (for deterministic output).
+func (v *Vocabulary) Words() []string {
+	out := append([]string(nil), v.words...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,66 @@
+package dataset
+
+import "testing"
+
+func TestVocabularyIntern(t *testing.T) {
+	v := NewVocabulary()
+	a := v.ID("pool")
+	b := v.ID("parking")
+	if a == b {
+		t.Fatal("distinct words share an id")
+	}
+	if again := v.ID("pool"); again != a {
+		t.Fatal("re-interning changed the id")
+	}
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", v.Len())
+	}
+}
+
+func TestVocabularyLookupWord(t *testing.T) {
+	v := NewVocabulary()
+	id := v.ID("spa")
+	if got, ok := v.Lookup("spa"); !ok || got != id {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := v.Lookup("beach"); ok {
+		t.Fatal("Lookup invented a word")
+	}
+	if v.Len() != 1 {
+		t.Fatal("Lookup must not intern")
+	}
+	if w, ok := v.Word(id); !ok || w != "spa" {
+		t.Fatal("Word failed")
+	}
+	if _, ok := v.Word(999); ok {
+		t.Fatal("Word invented an id")
+	}
+}
+
+func TestVocabularyDoc(t *testing.T) {
+	v := NewVocabulary()
+	doc := v.Doc("pool", "spa", "pool")
+	if len(doc) != 3 || doc[0] != doc[2] {
+		t.Fatalf("Doc = %v", doc)
+	}
+	words := v.Words()
+	if len(words) != 2 || words[0] != "pool" || words[1] != "spa" {
+		t.Fatalf("Words = %v", words)
+	}
+}
+
+func TestVocabularyEndToEnd(t *testing.T) {
+	v := NewVocabulary()
+	ds := MustNew([]Object{
+		{Point: []float64{1, 2}, Doc: v.Doc("pool", "spa")},
+		{Point: []float64{3, 4}, Doc: v.Doc("spa", "gym")},
+	})
+	spa, _ := v.Lookup("spa")
+	gym, _ := v.Lookup("gym")
+	if !ds.HasAll(1, []Keyword{spa, gym}) {
+		t.Fatal("vocabulary-built documents broken")
+	}
+	if ds.Has(0, gym) {
+		t.Fatal("phantom membership")
+	}
+}

@@ -1,0 +1,155 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"kwsc/internal/lp"
+)
+
+// Halfspace is a linear constraint sum_i Coef[i]*x[i] <= Bound, the query
+// atom of the LC-KW problem (Section 1.1).
+type Halfspace struct {
+	Coef  []float64
+	Bound float64
+}
+
+// Dim returns the dimensionality of the halfspace.
+func (h Halfspace) Dim() int { return len(h.Coef) }
+
+// Eval returns Coef . p.
+func (h Halfspace) Eval(p Point) float64 {
+	var s float64
+	for i, c := range h.Coef {
+		s += c * p[i]
+	}
+	return s
+}
+
+// Contains reports whether p satisfies the constraint (closed halfspace).
+func (h Halfspace) Contains(p Point) bool { return h.Eval(p) <= h.Bound }
+
+// On reports whether p lies on the boundary hyperplane within tolerance tol.
+func (h Halfspace) On(p Point, tol float64) bool {
+	return math.Abs(h.Eval(p)-h.Bound) <= tol
+}
+
+// maxOverRect returns max{Coef . x : x in [lo,hi]}, attained at the corner
+// picking hi[i] when Coef[i] > 0 and lo[i] otherwise. Infinite bounds yield
+// +Inf when the corresponding coefficient points that way.
+func (h Halfspace) maxOverRect(lo, hi []float64) float64 {
+	var s float64
+	for i, c := range h.Coef {
+		switch {
+		case c > 0:
+			s += c * hi[i]
+		case c < 0:
+			s += c * lo[i]
+		}
+	}
+	return s
+}
+
+// minOverRect returns min{Coef . x : x in [lo,hi]}.
+func (h Halfspace) minOverRect(lo, hi []float64) float64 {
+	var s float64
+	for i, c := range h.Coef {
+		switch {
+		case c > 0:
+			s += c * lo[i]
+		case c < 0:
+			s += c * hi[i]
+		}
+	}
+	return s
+}
+
+// Polyhedron is the intersection of a set of halfspaces: the query region of
+// the LC-KW problem with s = O(1) constraints, and (via the d+1 facets of a
+// simplex) of the SP-KW problem of Appendix D.
+type Polyhedron struct {
+	HS []Halfspace
+}
+
+// NewPolyhedron builds a polyhedron from halfspaces, validating dimensions.
+func NewPolyhedron(hs ...Halfspace) *Polyhedron {
+	if len(hs) == 0 {
+		panic("geom: polyhedron needs at least one halfspace")
+	}
+	d := len(hs[0].Coef)
+	for _, h := range hs {
+		if len(h.Coef) != d {
+			panic(fmt.Sprintf("geom: polyhedron halfspaces of mixed dimensions %d and %d", d, len(h.Coef)))
+		}
+	}
+	return &Polyhedron{HS: hs}
+}
+
+// Dim returns the dimensionality of the polyhedron.
+func (ph *Polyhedron) Dim() int { return len(ph.HS[0].Coef) }
+
+// ContainsPoint implements Region.
+func (ph *Polyhedron) ContainsPoint(p Point) bool {
+	for _, h := range ph.HS {
+		if !h.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// RelateRect implements Region. Coverage is decided exactly by maximizing
+// each constraint over the box; disjointness by linear-programming
+// feasibility of {constraints} inside the box.
+func (ph *Polyhedron) RelateRect(lo, hi []float64) Relation {
+	covered := true
+	for _, h := range ph.HS {
+		if h.maxOverRect(lo, hi) > h.Bound {
+			covered = false
+			break
+		}
+	}
+	if covered {
+		return Covered
+	}
+	// Quick reject: a single constraint already unsatisfiable over the box.
+	for _, h := range ph.HS {
+		if h.minOverRect(lo, hi) > h.Bound {
+			return Disjoint
+		}
+	}
+	// Infinite box bounds cannot reach here from index cells (cells are
+	// clipped to the data bounding box); clamp defensively for safety.
+	flo, fhi := finiteBox(lo, hi)
+	cons := make([]lp.Constraint, len(ph.HS))
+	for i, h := range ph.HS {
+		cons[i] = lp.Constraint{Coef: h.Coef, Bound: h.Bound}
+	}
+	if lp.FeasibleInBox(cons, flo, fhi) {
+		return Crossing
+	}
+	return Disjoint
+}
+
+// RelatePolygon implements Region for 2D polygon cells by clipping.
+func (ph *Polyhedron) RelatePolygon(poly *Polygon) Relation {
+	return relatePolygonHalfspaces(poly, ph.HS)
+}
+
+// finiteBox replaces infinite bounds by a huge finite surrogate so the LP
+// stays bounded.
+func finiteBox(lo, hi []float64) ([]float64, []float64) {
+	const big = 1e18
+	fl := make([]float64, len(lo))
+	fh := make([]float64, len(hi))
+	for i := range lo {
+		fl[i], fh[i] = lo[i], hi[i]
+		if math.IsInf(fl[i], -1) {
+			fl[i] = -big
+		}
+		if math.IsInf(fh[i], 1) {
+			fh[i] = big
+		}
+	}
+	return fl, fh
+}

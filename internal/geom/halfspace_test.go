@@ -1,0 +1,138 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHalfspaceEvalContains(t *testing.T) {
+	h := Halfspace{Coef: []float64{1, 2}, Bound: 4}
+	if v := h.Eval(Point{1, 1}); v != 3 {
+		t.Fatalf("Eval = %v, want 3", v)
+	}
+	if !h.Contains(Point{0, 2}) { // boundary
+		t.Fatal("boundary point must be contained (closed halfspace)")
+	}
+	if h.Contains(Point{5, 0}) {
+		t.Fatal("exterior point contained")
+	}
+	if !h.On(Point{0, 2}, 1e-12) {
+		t.Fatal("On should detect boundary point")
+	}
+	if h.On(Point{0, 0}, 1e-12) {
+		t.Fatal("On should reject interior point")
+	}
+}
+
+func TestHalfspaceRectExtremes(t *testing.T) {
+	h := Halfspace{Coef: []float64{1, -2}, Bound: 0}
+	lo, hi := []float64{0, 0}, []float64{3, 5}
+	if v := h.maxOverRect(lo, hi); v != 3 { // x=3, y=0
+		t.Fatalf("maxOverRect = %v, want 3", v)
+	}
+	if v := h.minOverRect(lo, hi); v != -10 { // x=0, y=5
+		t.Fatalf("minOverRect = %v, want -10", v)
+	}
+}
+
+func TestPolyhedronValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mixed dimensions")
+		}
+	}()
+	NewPolyhedron(
+		Halfspace{Coef: []float64{1}, Bound: 0},
+		Halfspace{Coef: []float64{1, 2}, Bound: 0},
+	)
+}
+
+func TestPolyhedronEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for no halfspaces")
+		}
+	}()
+	NewPolyhedron()
+}
+
+func TestPolyhedronRelateRect(t *testing.T) {
+	// Triangle x >= 0, y >= 0, x + y <= 1.
+	ph := NewPolyhedron(
+		Halfspace{Coef: []float64{-1, 0}, Bound: 0},
+		Halfspace{Coef: []float64{0, -1}, Bound: 0},
+		Halfspace{Coef: []float64{1, 1}, Bound: 1},
+	)
+	cases := []struct {
+		lo, hi []float64
+		want   Relation
+	}{
+		{[]float64{0.1, 0.1}, []float64{0.2, 0.2}, Covered},
+		{[]float64{2, 2}, []float64{3, 3}, Disjoint},
+		{[]float64{0.4, 0.4}, []float64{0.8, 0.8}, Crossing},
+		// Box whose corners all lie outside but which still intersects the
+		// triangle through an edge — the LP feasibility path.
+		{[]float64{0.4, -1}, []float64{0.6, 2}, Crossing},
+		// Box beyond the hypotenuse but overlapping its bounding box.
+		{[]float64{0.9, 0.9}, []float64{1.5, 1.5}, Disjoint},
+	}
+	for i, c := range cases {
+		if got := ph.RelateRect(c.lo, c.hi); got != c.want {
+			t.Errorf("case %d: RelateRect = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestPolyhedronRelateRect3D(t *testing.T) {
+	// Halfspace x + y + z <= 1 in R^3 (the shape lifting produces).
+	ph := NewPolyhedron(Halfspace{Coef: []float64{1, 1, 1}, Bound: 1})
+	if r := ph.RelateRect([]float64{0, 0, 0}, []float64{0.3, 0.3, 0.3}); r != Covered {
+		t.Fatalf("want Covered, got %v", r)
+	}
+	if r := ph.RelateRect([]float64{1, 1, 1}, []float64{2, 2, 2}); r != Disjoint {
+		t.Fatalf("want Disjoint, got %v", r)
+	}
+	if r := ph.RelateRect([]float64{0, 0, 0}, []float64{1, 1, 1}); r != Crossing {
+		t.Fatalf("want Crossing, got %v", r)
+	}
+}
+
+// Property: RelateRect never returns Disjoint when a sampled point of the
+// box lies in the polyhedron, and never Covered when a sampled point of the
+// box lies outside — the one-sided errors that would break index pruning.
+func TestPolyhedronRelateRectSoundnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		d := 2 + rng.Intn(2)
+		s := 1 + rng.Intn(3)
+		hs := make([]Halfspace, s)
+		for i := range hs {
+			coef := make([]float64, d)
+			for j := range coef {
+				coef[j] = rng.NormFloat64()
+			}
+			hs[i] = Halfspace{Coef: coef, Bound: rng.NormFloat64()}
+		}
+		ph := NewPolyhedron(hs...)
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for j := 0; j < d; j++ {
+			lo[j] = rng.NormFloat64()
+			hi[j] = lo[j] + rng.Float64()*2
+		}
+		rel := ph.RelateRect(lo, hi)
+		for i := 0; i < 32; i++ {
+			p := make(Point, d)
+			for j := 0; j < d; j++ {
+				p[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+			}
+			in := ph.ContainsPoint(p)
+			if rel == Disjoint && in {
+				t.Fatalf("trial %d: Disjoint but %v is inside", trial, p)
+			}
+			if rel == Covered && !in {
+				t.Fatalf("trial %d: Covered but %v is outside", trial, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package geom
+
+// This file implements the lifting technique of Corollary 6 (after
+// Aurenhammer [8]; see also Section 11.6 of de Berg et al. [24]): a point
+// p in R^d maps to p' = (p[0], ..., p[d-1], sum_i p[i]^2) in R^{d+1}, and a
+// sphere B(c, rho) in R^d maps to the halfspace
+//
+//	x[d] - 2 c . (x[0..d-1]) <= rho^2 - ||c||^2
+//
+// in R^{d+1}, such that p lies in B iff p' satisfies the halfspace. The
+// d-dimensional SRP-KW problem thereby reduces to a single-constraint
+// (d+1)-dimensional LC-KW query.
+
+// Lift maps p in R^d to its paraboloid lift in R^{d+1}.
+func Lift(p Point) Point {
+	q := make(Point, len(p)+1)
+	var s float64
+	for i, v := range p {
+		q[i] = v
+		s += v * v
+	}
+	q[len(p)] = s
+	return q
+}
+
+// LiftSphere maps the sphere to the halfspace in R^{d+1} that captures
+// membership of lifted points.
+func LiftSphere(s *Sphere) Halfspace {
+	d := s.Dim()
+	coef := make([]float64, d+1)
+	var c2 float64
+	for i, c := range s.Center {
+		coef[i] = -2 * c
+		c2 += c * c
+	}
+	coef[d] = 1
+	return Halfspace{Coef: coef, Bound: s.Radius*s.Radius - c2}
+}
+
+// LiftSphereSq is LiftSphere for a sphere given by its squared radius, which
+// lets the L2NN-KW search of Corollary 7 binary-search over exact integer
+// squared distances without taking square roots.
+func LiftSphereSq(center Point, radiusSq float64) Halfspace {
+	d := len(center)
+	coef := make([]float64, d+1)
+	var c2 float64
+	for i, c := range center {
+		coef[i] = -2 * c
+		c2 += c * c
+	}
+	coef[d] = 1
+	return Halfspace{Coef: coef, Bound: radiusSq - c2}
+}

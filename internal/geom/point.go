@@ -1,0 +1,159 @@
+// Package geom provides the geometric primitives and predicates used by the
+// keyword-search indexes: points, d-rectangles, halfspaces, convex polyhedra,
+// 2D convex polygons, d-simplices, and spheres, together with the
+// containment/intersection tests the index-transformation framework relies
+// on (Sections 3 and 4 and Appendices D and F of Lu & Tao, PODS 2023).
+//
+// All coordinates are float64. Rectangles may have infinite extents, which is
+// how the reductions in Appendix F express half-open query ranges.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a point in R^d, represented by its d coordinates.
+type Point []float64
+
+// Dim returns the dimensionality of the point.
+func (p Point) Dim() int { return len(p) }
+
+// Clone returns a copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q have identical coordinates.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dot returns the inner product of p and q, which must share a dimension.
+func (p Point) Dot(q Point) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("geom: dot product of mismatched dimensions %d and %d", len(p), len(q)))
+	}
+	var s float64
+	for i := range p {
+		s += p[i] * q[i]
+	}
+	return s
+}
+
+// Sub returns p - q as a new point.
+func (p Point) Sub(q Point) Point {
+	r := make(Point, len(p))
+	for i := range p {
+		r[i] = p[i] - q[i]
+	}
+	return r
+}
+
+// Add returns p + q as a new point.
+func (p Point) Add(q Point) Point {
+	r := make(Point, len(p))
+	for i := range p {
+		r[i] = p[i] + q[i]
+	}
+	return r
+}
+
+// Scale returns c*p as a new point.
+func (p Point) Scale(c float64) Point {
+	r := make(Point, len(p))
+	for i := range p {
+		r[i] = c * p[i]
+	}
+	return r
+}
+
+// LInf returns the L-infinity distance between p and q (footnote 2 of the
+// paper): max_i |p[i]-q[i]|.
+func (p Point) LInf(q Point) float64 {
+	var m float64
+	for i := range p {
+		d := math.Abs(p[i] - q[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// L2Sq returns the squared Euclidean distance between p and q.
+func (p Point) L2Sq(q Point) float64 {
+	var s float64
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return s
+}
+
+// L2 returns the Euclidean distance between p and q.
+func (p Point) L2(q Point) float64 { return math.Sqrt(p.L2Sq(q)) }
+
+// Relation classifies how a query region relates to an index cell.
+type Relation int8
+
+const (
+	// Disjoint means the region and the cell have no common point.
+	Disjoint Relation = iota
+	// Crossing means the region intersects the cell but does not cover it
+	// (the "crossing node" case of Section 3.3).
+	Crossing
+	// Covered means the cell is fully contained in the region
+	// (the "covered node" case of Section 3.3).
+	Covered
+)
+
+// String implements fmt.Stringer.
+func (r Relation) String() string {
+	switch r {
+	case Disjoint:
+		return "disjoint"
+	case Crossing:
+		return "crossing"
+	case Covered:
+		return "covered"
+	default:
+		return fmt.Sprintf("Relation(%d)", int8(r))
+	}
+}
+
+// Region is a query region: any set of points against which cells and points
+// can be classified. Rect, Polyhedron, Sphere and FullSpace implement it.
+type Region interface {
+	// ContainsPoint reports whether p lies in the (closed) region.
+	ContainsPoint(p Point) bool
+	// RelateRect classifies the region against the axis-aligned box
+	// [lo[0],hi[0]] x ... x [lo[d-1],hi[d-1]] (bounds may be infinite).
+	RelateRect(lo, hi []float64) Relation
+	// RelatePolygon classifies the region against a 2D convex polygon cell.
+	RelatePolygon(poly *Polygon) Relation
+}
+
+// FullSpace is the query region covering all of R^d. It is how a "pure"
+// keyword-search query (the k-SI reduction of Section 1.2) is expressed: a
+// search rectangle q := R^d.
+type FullSpace struct{}
+
+// ContainsPoint always reports true.
+func (FullSpace) ContainsPoint(Point) bool { return true }
+
+// RelateRect always reports Covered.
+func (FullSpace) RelateRect(lo, hi []float64) Relation { return Covered }
+
+// RelatePolygon always reports Covered.
+func (FullSpace) RelatePolygon(*Polygon) Relation { return Covered }

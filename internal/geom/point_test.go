@@ -1,0 +1,131 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDim(t *testing.T) {
+	if d := (Point{1, 2, 3}).Dim(); d != 3 {
+		t.Fatalf("Dim = %d, want 3", d)
+	}
+}
+
+func TestPointClone(t *testing.T) {
+	p := Point{1, 2}
+	q := p.Clone()
+	q[0] = 9
+	if p[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+	if !p.Equal(Point{1, 2}) {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestPointEqual(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want bool
+	}{
+		{Point{1, 2}, Point{1, 2}, true},
+		{Point{1, 2}, Point{1, 3}, false},
+		{Point{1, 2}, Point{1, 2, 3}, false},
+		{Point{}, Point{}, true},
+	}
+	for i, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("case %d: Equal = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestPointDot(t *testing.T) {
+	if v := (Point{1, 2, 3}).Dot(Point{4, 5, 6}); v != 32 {
+		t.Fatalf("Dot = %v, want 32", v)
+	}
+}
+
+func TestPointDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	_ = (Point{1}).Dot(Point{1, 2})
+}
+
+func TestPointArithmetic(t *testing.T) {
+	a, b := Point{3, 4}, Point{1, 1}
+	if !a.Sub(b).Equal(Point{2, 3}) {
+		t.Fatal("Sub wrong")
+	}
+	if !a.Add(b).Equal(Point{4, 5}) {
+		t.Fatal("Add wrong")
+	}
+	if !a.Scale(2).Equal(Point{6, 8}) {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestLInf(t *testing.T) {
+	p, q := Point{0, 0}, Point{3, -4}
+	if d := p.LInf(q); d != 4 {
+		t.Fatalf("LInf = %v, want 4", d)
+	}
+	if d := p.LInf(p); d != 0 {
+		t.Fatalf("LInf self = %v, want 0", d)
+	}
+}
+
+func TestL2(t *testing.T) {
+	p, q := Point{0, 0}, Point{3, 4}
+	if d := p.L2(q); d != 5 {
+		t.Fatalf("L2 = %v, want 5", d)
+	}
+	if d2 := p.L2Sq(q); d2 != 25 {
+		t.Fatalf("L2Sq = %v, want 25", d2)
+	}
+}
+
+// The L∞ distance is a constant-factor approximation of L2 (the observation
+// behind Corollary 4's approximation interpretation):
+// LInf <= L2 <= sqrt(d) * LInf.
+func TestMetricSandwichProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		bound := func(x float64) float64 { return math.Mod(x, 1e6) }
+		p, q := Point{bound(ax), bound(ay)}, Point{bound(bx), bound(by)}
+		linf, l2 := p.LInf(q), p.L2(q)
+		return linf <= l2+1e-9 && l2 <= math.Sqrt2*linf+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	for r, want := range map[Relation]string{
+		Disjoint: "disjoint", Crossing: "crossing", Covered: "covered",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("Relation(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+	if got := Relation(9).String(); got != "Relation(9)" {
+		t.Errorf("unknown relation formats as %q", got)
+	}
+}
+
+func TestFullSpace(t *testing.T) {
+	var fs FullSpace
+	if !fs.ContainsPoint(Point{1e18, -1e18}) {
+		t.Fatal("FullSpace must contain everything")
+	}
+	if fs.RelateRect([]float64{0}, []float64{1}) != Covered {
+		t.Fatal("FullSpace must cover any rect")
+	}
+	if fs.RelatePolygon(NewSquare(0, 0, 1, 1)) != Covered {
+		t.Fatal("FullSpace must cover any polygon")
+	}
+}

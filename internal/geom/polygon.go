@@ -1,0 +1,221 @@
+package geom
+
+import "math"
+
+// Polygon is a convex polygon in R^2 given by its vertices in counterclockwise
+// order. Polygons are the node cells of the Willard partition tree
+// (Appendix D substrate): each child cell is the parent polygon clipped by
+// one or two splitting lines.
+type Polygon struct {
+	V []Point // CCW vertices; len >= 3 for a proper polygon
+}
+
+// NewSquare returns the axis-aligned square [lo.x,hi.x] x [lo.y,hi.y] as a
+// polygon (used as the finite root cell clipped to the data's bounding box).
+func NewSquare(lox, loy, hix, hiy float64) *Polygon {
+	return &Polygon{V: []Point{
+		{lox, loy}, {hix, loy}, {hix, hiy}, {lox, hiy},
+	}}
+}
+
+// Empty reports whether the polygon has no area-carrying vertex set.
+func (pg *Polygon) Empty() bool { return pg == nil || len(pg.V) == 0 }
+
+// ContainsPoint reports whether p lies in the closed polygon. Clipping can
+// produce degenerate polygons (a point or a segment); those contain exactly
+// the points on them, not the whole plane.
+func (pg *Polygon) ContainsPoint(p Point) bool {
+	if pg.Empty() {
+		return false
+	}
+	n := len(pg.V)
+	switch n {
+	case 1:
+		a := pg.V[0]
+		dx, dy := p[0]-a[0], p[1]-a[1]
+		return dx*dx+dy*dy <= polyEps*edgeScale(a, a, p)
+	case 2:
+		return distSqToSegment(p, pg.V[0], pg.V[1]) <= polyEps*edgeScale(pg.V[0], pg.V[1], p)
+	}
+	for i := 0; i < n; i++ {
+		a, b := pg.V[i], pg.V[(i+1)%n]
+		// CCW: interior is to the left of each directed edge a->b.
+		if cross2(b[0]-a[0], b[1]-a[1], p[0]-a[0], p[1]-a[1]) < -polyEps*edgeScale(a, b, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// ClipHalfplane returns the polygon clipped to {x : h.Coef . x <= h.Bound}
+// via Sutherland–Hodgman. The result may be empty.
+func (pg *Polygon) ClipHalfplane(h Halfspace) *Polygon {
+	if pg.Empty() {
+		return &Polygon{}
+	}
+	n := len(pg.V)
+	out := make([]Point, 0, n+1)
+	for i := 0; i < n; i++ {
+		cur, nxt := pg.V[i], pg.V[(i+1)%n]
+		cIn := h.Eval(cur) <= h.Bound+polyEps*hsScale(h, cur)
+		nIn := h.Eval(nxt) <= h.Bound+polyEps*hsScale(h, nxt)
+		if cIn {
+			out = append(out, cur)
+		}
+		if cIn != nIn {
+			if ip, ok := lineCross(cur, nxt, h); ok {
+				out = append(out, ip)
+			}
+		}
+	}
+	return &Polygon{V: dedupeVerts(out)}
+}
+
+// ClipLineBelow / ClipLineAbove clip by the line a*x + b*y = c keeping the
+// side <= c or >= c respectively.
+func (pg *Polygon) ClipLineBelow(a, b, c float64) *Polygon {
+	return pg.ClipHalfplane(Halfspace{Coef: []float64{a, b}, Bound: c})
+}
+
+// ClipLineAbove keeps the side a*x + b*y >= c.
+func (pg *Polygon) ClipLineAbove(a, b, c float64) *Polygon {
+	return pg.ClipHalfplane(Halfspace{Coef: []float64{-a, -b}, Bound: -c})
+}
+
+// relatePolygonHalfspaces classifies the region (intersection of hs) against
+// the polygon cell: Covered when every polygon vertex satisfies every
+// halfspace, Disjoint when successive clipping empties the polygon, and
+// Crossing otherwise.
+func relatePolygonHalfspaces(poly *Polygon, hs []Halfspace) Relation {
+	if poly.Empty() {
+		return Disjoint
+	}
+	covered := true
+outer:
+	for _, h := range hs {
+		for _, v := range poly.V {
+			if h.Eval(v) > h.Bound+polyEps*hsScale(h, v) {
+				covered = false
+				break outer
+			}
+		}
+	}
+	if covered {
+		return Covered
+	}
+	clipped := poly
+	for _, h := range hs {
+		clipped = clipped.ClipHalfplane(h)
+		if clipped.Empty() {
+			return Disjoint
+		}
+	}
+	return Crossing
+}
+
+const polyEps = 1e-12
+
+func cross2(ax, ay, bx, by float64) float64 { return ax*by - ay*bx }
+
+func edgeScale(a, b, p Point) float64 {
+	m := 1.0
+	for _, v := range []float64{a[0], a[1], b[0], b[1], p[0], p[1]} {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m * m
+}
+
+func hsScale(h Halfspace, p Point) float64 {
+	m := 1.0
+	for _, v := range h.Coef {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	for _, v := range p {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	if b := math.Abs(h.Bound); b > m {
+		m = b
+	}
+	return m
+}
+
+// lineCross intersects segment cur->nxt with the boundary of h.
+func lineCross(cur, nxt Point, h Halfspace) (Point, bool) {
+	fc := h.Eval(cur) - h.Bound
+	fn := h.Eval(nxt) - h.Bound
+	den := fc - fn
+	if den == 0 {
+		return nil, false
+	}
+	t := fc / den
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return Point{cur[0] + t*(nxt[0]-cur[0]), cur[1] + t*(nxt[1]-cur[1])}, true
+}
+
+func dedupeVerts(v []Point) []Point {
+	if len(v) < 2 {
+		return v
+	}
+	out := v[:0]
+	for _, p := range v {
+		if len(out) == 0 || !p.Equal(out[len(out)-1]) {
+			out = append(out, p)
+		}
+	}
+	// Drop a duplicated closing vertex.
+	if len(out) > 1 && out[0].Equal(out[len(out)-1]) {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// Vertices returns the polygon's vertex list (read-only view).
+func (pg *Polygon) Vertices() []Point { return pg.V }
+
+// FanTriangulate splits a convex polygon into triangles sharing its first
+// vertex — the constant-size simplex partition the LC-KW reduction of
+// Appendix D applies to the query polyhedron. Degenerate polygons (< 3
+// vertices) yield no triangles.
+func (pg *Polygon) FanTriangulate() []*Simplex {
+	if pg.Empty() || len(pg.V) < 3 {
+		return nil
+	}
+	out := make([]*Simplex, 0, len(pg.V)-2)
+	for i := 1; i+1 < len(pg.V); i++ {
+		out = append(out, &Simplex{V: []Point{pg.V[0], pg.V[i], pg.V[i+1]}})
+	}
+	return out
+}
+
+// ClipPolyhedron2D materializes the intersection of 2D halfspaces as a
+// convex polygon by clipping a bounding square; bound must enclose the
+// region of interest (e.g. the data's bounding box).
+func ClipPolyhedron2D(ph *Polyhedron, bound *Rect) *Polygon {
+	pg := NewSquare(bound.Lo[0], bound.Lo[1], bound.Hi[0], bound.Hi[1])
+	for _, h := range ph.HS {
+		pg = pg.ClipHalfplane(h)
+		if pg.Empty() {
+			return pg
+		}
+	}
+	return pg
+}

@@ -1,0 +1,221 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func unitSquare() *Polygon { return NewSquare(0, 0, 1, 1) }
+
+func TestPolygonContainsPoint(t *testing.T) {
+	pg := unitSquare()
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0.5, 0.5}, true},
+		{Point{0, 0}, true},   // vertex
+		{Point{0.5, 0}, true}, // edge
+		{Point{1.1, 0.5}, false},
+		{Point{-0.1, 0.5}, false},
+	}
+	for i, c := range cases {
+		if got := pg.ContainsPoint(c.p); got != c.want {
+			t.Errorf("case %d: ContainsPoint(%v) = %v, want %v", i, c.p, got, c.want)
+		}
+	}
+}
+
+func TestPolygonEmpty(t *testing.T) {
+	var nilPoly *Polygon
+	if !nilPoly.Empty() {
+		t.Fatal("nil polygon must be empty")
+	}
+	if !(&Polygon{}).Empty() {
+		t.Fatal("zero polygon must be empty")
+	}
+	if unitSquare().Empty() {
+		t.Fatal("unit square is not empty")
+	}
+}
+
+func TestClipHalfplane(t *testing.T) {
+	pg := unitSquare()
+	// Keep x <= 0.5.
+	clipped := pg.ClipHalfplane(Halfspace{Coef: []float64{1, 0}, Bound: 0.5})
+	if clipped.Empty() {
+		t.Fatal("clip should not empty the square")
+	}
+	if clipped.ContainsPoint(Point{0.75, 0.5}) {
+		t.Fatal("clipped polygon still contains removed half")
+	}
+	if !clipped.ContainsPoint(Point{0.25, 0.5}) {
+		t.Fatal("clipped polygon lost kept half")
+	}
+	// Clip away everything.
+	gone := pg.ClipHalfplane(Halfspace{Coef: []float64{1, 0}, Bound: -1})
+	if !gone.Empty() {
+		t.Fatal("clip by external line should empty the polygon")
+	}
+	// Clip that keeps everything.
+	all := pg.ClipHalfplane(Halfspace{Coef: []float64{1, 0}, Bound: 5})
+	if len(all.V) != 4 {
+		t.Fatalf("identity clip changed vertex count: %d", len(all.V))
+	}
+}
+
+func TestClipLineBelowAbove(t *testing.T) {
+	pg := unitSquare()
+	below := pg.ClipLineBelow(0, 1, 0.5) // y <= 0.5
+	above := pg.ClipLineAbove(0, 1, 0.5) // y >= 0.5
+	if !below.ContainsPoint(Point{0.5, 0.25}) || below.ContainsPoint(Point{0.5, 0.75}) {
+		t.Fatal("ClipLineBelow kept the wrong side")
+	}
+	if !above.ContainsPoint(Point{0.5, 0.75}) || above.ContainsPoint(Point{0.5, 0.25}) {
+		t.Fatal("ClipLineAbove kept the wrong side")
+	}
+}
+
+func TestRelatePolygonHalfspaces(t *testing.T) {
+	pg := unitSquare()
+	// Query region x + y <= 3 covers the square.
+	if r := relatePolygonHalfspaces(pg, []Halfspace{{Coef: []float64{1, 1}, Bound: 3}}); r != Covered {
+		t.Fatalf("want Covered, got %v", r)
+	}
+	// x + y <= -1 is disjoint.
+	if r := relatePolygonHalfspaces(pg, []Halfspace{{Coef: []float64{1, 1}, Bound: -1}}); r != Disjoint {
+		t.Fatalf("want Disjoint, got %v", r)
+	}
+	// x + y <= 1 crosses.
+	if r := relatePolygonHalfspaces(pg, []Halfspace{{Coef: []float64{1, 1}, Bound: 1}}); r != Crossing {
+		t.Fatalf("want Crossing, got %v", r)
+	}
+	// Empty polygon is always disjoint.
+	if r := relatePolygonHalfspaces(&Polygon{}, nil); r != Disjoint {
+		t.Fatalf("empty polygon: want Disjoint, got %v", r)
+	}
+}
+
+func TestRectRelatePolygon(t *testing.T) {
+	pg := unitSquare()
+	if r := NewRect([]float64{-1, -1}, []float64{2, 2}).RelatePolygon(pg); r != Covered {
+		t.Fatalf("want Covered, got %v", r)
+	}
+	if r := NewRect([]float64{2, 2}, []float64{3, 3}).RelatePolygon(pg); r != Disjoint {
+		t.Fatalf("want Disjoint, got %v", r)
+	}
+	if r := NewRect([]float64{0.5, 0.5}, []float64{3, 3}).RelatePolygon(pg); r != Crossing {
+		t.Fatalf("want Crossing, got %v", r)
+	}
+}
+
+// Property: clipping preserves membership — a point is in clip(P, h) iff it
+// is in P and satisfies h (up to boundary tolerance, so only strict interior
+// points are sampled).
+func TestClipMembershipProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		pg := NewSquare(0, 0, 1, 1)
+		// Random halfplane through the square's vicinity.
+		h := Halfspace{
+			Coef:  []float64{rng.NormFloat64(), rng.NormFloat64()},
+			Bound: rng.NormFloat64(),
+		}
+		clipped := pg.ClipHalfplane(h)
+		for i := 0; i < 32; i++ {
+			p := Point{rng.Float64(), rng.Float64()}
+			margin := h.Eval(p) - h.Bound
+			if margin > -1e-6 && margin < 1e-6 {
+				continue // too close to the clip boundary to judge
+			}
+			want := margin < 0 // inside the square by construction
+			got := clipped.ContainsPoint(p)
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: successive clips commute with conjunction: clipping by h1 then
+// h2 contains exactly the points satisfying both.
+func TestDoubleClipProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		h1 := Halfspace{Coef: []float64{rng.NormFloat64(), rng.NormFloat64()}, Bound: rng.Float64()}
+		h2 := Halfspace{Coef: []float64{rng.NormFloat64(), rng.NormFloat64()}, Bound: rng.Float64()}
+		c12 := unitSquare().ClipHalfplane(h1).ClipHalfplane(h2)
+		c21 := unitSquare().ClipHalfplane(h2).ClipHalfplane(h1)
+		for i := 0; i < 16; i++ {
+			p := Point{rng.Float64(), rng.Float64()}
+			m1, m2 := h1.Eval(p)-h1.Bound, h2.Eval(p)-h2.Bound
+			if m1 > -1e-6 && m1 < 1e-6 || m2 > -1e-6 && m2 < 1e-6 {
+				continue
+			}
+			want := m1 < 0 && m2 < 0
+			if c12.ContainsPoint(p) != want || c21.ContainsPoint(p) != want {
+				t.Fatalf("trial %d: clip order disagreement at %v", trial, p)
+			}
+		}
+	}
+}
+
+func TestFanTriangulate(t *testing.T) {
+	pg := NewSquare(0, 0, 2, 2)
+	tris := pg.FanTriangulate()
+	if len(tris) != 2 {
+		t.Fatalf("square should give 2 triangles, got %d", len(tris))
+	}
+	// Union of triangles contains the square's points; sampled check.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := Point{rng.Float64() * 2, rng.Float64() * 2}
+		in := false
+		for _, tri := range tris {
+			ph, err := tri.Polyhedron()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ph.ContainsPoint(p) {
+				in = true
+				break
+			}
+		}
+		if !in {
+			t.Fatalf("point %v lost by triangulation", p)
+		}
+	}
+	if got := (&Polygon{V: []Point{{0, 0}, {1, 1}}}).FanTriangulate(); got != nil {
+		t.Fatal("degenerate polygon must not triangulate")
+	}
+	if len(pg.Vertices()) != 4 {
+		t.Fatal("Vertices accessor broken")
+	}
+}
+
+func TestClipPolyhedron2D(t *testing.T) {
+	ph := NewPolyhedron(
+		Halfspace{Coef: []float64{1, 0}, Bound: 0.5},
+		Halfspace{Coef: []float64{0, 1}, Bound: 0.5},
+	)
+	pg := ClipPolyhedron2D(ph, NewRect([]float64{0, 0}, []float64{1, 1}))
+	if pg.Empty() {
+		t.Fatal("clip emptied a quarter-square region")
+	}
+	if !pg.ContainsPoint(Point{0.25, 0.25}) || pg.ContainsPoint(Point{0.75, 0.75}) {
+		t.Fatal("clipped region wrong")
+	}
+	// Infeasible system clips to empty.
+	bad := NewPolyhedron(
+		Halfspace{Coef: []float64{1, 0}, Bound: -1},
+		Halfspace{Coef: []float64{-1, 0}, Bound: -1},
+	)
+	if !ClipPolyhedron2D(bad, NewRect([]float64{0, 0}, []float64{1, 1})).Empty() {
+		t.Fatal("infeasible system must clip to empty")
+	}
+}

@@ -1,0 +1,179 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRectValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inverted bounds")
+		}
+	}()
+	NewRect([]float64{1}, []float64{0})
+}
+
+func TestNewRectDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched dims")
+		}
+	}()
+	NewRect([]float64{0, 0}, []float64{1})
+}
+
+func TestRectContainsPoint(t *testing.T) {
+	r := NewRect([]float64{0, 0}, []float64{1, 2})
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0.5, 1}, true},
+		{Point{0, 0}, true}, // closed at the low corner
+		{Point{1, 2}, true}, // closed at the high corner
+		{Point{1.01, 1}, false},
+		{Point{0.5, -0.01}, false},
+	}
+	for i, c := range cases {
+		if got := r.ContainsPoint(c.p); got != c.want {
+			t.Errorf("case %d: ContainsPoint(%v) = %v, want %v", i, c.p, got, c.want)
+		}
+	}
+}
+
+func TestUniverseRect(t *testing.T) {
+	u := UniverseRect(3)
+	if !u.ContainsPoint(Point{1e300, -1e300, 0}) {
+		t.Fatal("universe must contain everything")
+	}
+	if u.RelateRect([]float64{0, 0, 0}, []float64{1, 1, 1}) != Covered {
+		t.Fatal("universe must cover any box")
+	}
+}
+
+func TestRectRelateRect(t *testing.T) {
+	r := NewRect([]float64{0, 0}, []float64{10, 10})
+	cases := []struct {
+		lo, hi []float64
+		want   Relation
+	}{
+		{[]float64{2, 2}, []float64{3, 3}, Covered},
+		{[]float64{-5, -5}, []float64{-1, -1}, Disjoint},
+		{[]float64{-5, -5}, []float64{5, 5}, Crossing},
+		{[]float64{0, 0}, []float64{10, 10}, Covered},    // identical
+		{[]float64{10, 10}, []float64{11, 11}, Crossing}, // touching corner
+		{[]float64{10.0001, 0}, []float64{11, 1}, Disjoint},
+	}
+	for i, c := range cases {
+		if got := r.RelateRect(c.lo, c.hi); got != c.want {
+			t.Errorf("case %d: RelateRect = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestRectHalfspacesEquivalence(t *testing.T) {
+	r := NewRect([]float64{0, -1}, []float64{2, 3})
+	ph := NewPolyhedron(r.Halfspaces()...)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		p := Point{rng.Float64()*6 - 2, rng.Float64()*8 - 3}
+		if r.ContainsPoint(p) != ph.ContainsPoint(p) {
+			t.Fatalf("halfspace conversion disagrees at %v", p)
+		}
+	}
+}
+
+func TestRectHalfspacesOmitInfinite(t *testing.T) {
+	r := &Rect{Lo: []float64{math.Inf(-1), 0}, Hi: []float64{5, math.Inf(1)}}
+	hs := r.Halfspaces()
+	if len(hs) != 2 {
+		t.Fatalf("want 2 finite halfspaces, got %d", len(hs))
+	}
+}
+
+func TestRectCenterCloneString(t *testing.T) {
+	r := NewRect([]float64{0, 2}, []float64{4, 6})
+	if !r.Center().Equal(Point{2, 4}) {
+		t.Fatalf("Center = %v", r.Center())
+	}
+	c := r.Clone()
+	c.Lo[0] = -1
+	if r.Lo[0] != 0 {
+		t.Fatal("Clone aliases")
+	}
+	if r.String() != "[0,4] x [2,6]" {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestBoundingRect(t *testing.T) {
+	pts := []Point{{1, 5}, {-2, 3}, {4, -1}}
+	r := BoundingRect(pts)
+	if r.Lo[0] != -2 || r.Lo[1] != -1 || r.Hi[0] != 4 || r.Hi[1] != 5 {
+		t.Fatalf("BoundingRect = %v", r)
+	}
+	for _, p := range pts {
+		if !r.ContainsPoint(p) {
+			t.Fatalf("bounding rect misses %v", p)
+		}
+	}
+}
+
+func TestBoundingRectEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BoundingRect(nil)
+}
+
+// Property: RelateRect is consistent with corner membership — Covered means
+// all corners of the box are inside; Disjoint means no sampled point of the
+// box is inside.
+func TestRectRelateConsistencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		mk := func() *Rect {
+			lo := []float64{rng.Float64() * 4, rng.Float64() * 4}
+			hi := []float64{lo[0] + rng.Float64()*3, lo[1] + rng.Float64()*3}
+			return &Rect{Lo: lo, Hi: hi}
+		}
+		q, c := mk(), mk()
+		rel := q.RelateRect(c.Lo, c.Hi)
+		corners := []Point{
+			{c.Lo[0], c.Lo[1]}, {c.Lo[0], c.Hi[1]},
+			{c.Hi[0], c.Lo[1]}, {c.Hi[0], c.Hi[1]},
+		}
+		inside := 0
+		for _, p := range corners {
+			if q.ContainsPoint(p) {
+				inside++
+			}
+		}
+		switch rel {
+		case Covered:
+			return inside == 4
+		case Disjoint:
+			// Sample interior points.
+			for i := 0; i < 16; i++ {
+				p := Point{
+					c.Lo[0] + rng.Float64()*(c.Hi[0]-c.Lo[0]),
+					c.Lo[1] + rng.Float64()*(c.Hi[1]-c.Lo[1]),
+				}
+				if q.ContainsPoint(p) {
+					return false
+				}
+			}
+			return true
+		default:
+			return true
+		}
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Simplex is a d-simplex in R^d given by its d+1 vertices (Appendix D: "a
+// polyhedron in R^d with d+1 facets"). Degenerate (lower-dimensional)
+// simplices are permitted; they arise from the lifting reduction of
+// Corollary 6 where one "facet" is the halfspace itself.
+type Simplex struct {
+	V []Point // exactly d+1 vertices
+}
+
+// NewSimplex validates and returns a simplex with the given vertices.
+func NewSimplex(v ...Point) *Simplex {
+	if len(v) < 2 {
+		panic("geom: a simplex needs at least 2 vertices")
+	}
+	d := len(v[0])
+	if len(v) != d+1 {
+		panic(fmt.Sprintf("geom: a %d-simplex needs %d vertices, got %d", d, d+1, len(v)))
+	}
+	for _, p := range v {
+		if len(p) != d {
+			panic("geom: simplex vertices of mixed dimension")
+		}
+	}
+	return &Simplex{V: v}
+}
+
+// Dim returns the ambient dimension d.
+func (s *Simplex) Dim() int { return len(s.V[0]) }
+
+// Polyhedron converts the simplex to the intersection of its d+1 facet
+// halfspaces: facet i is the affine hull of all vertices except V[i],
+// oriented so V[i] satisfies the constraint. Returns an error for degenerate
+// simplices whose facet normals cannot be determined.
+func (s *Simplex) Polyhedron() (*Polyhedron, error) {
+	d := s.Dim()
+	hs := make([]Halfspace, 0, d+1)
+	for i := range s.V {
+		// Facet points: all vertices except V[i].
+		facet := make([]Point, 0, d)
+		for j, p := range s.V {
+			if j != i {
+				facet = append(facet, p)
+			}
+		}
+		n, err := hyperplaneNormal(facet)
+		if err != nil {
+			return nil, fmt.Errorf("geom: degenerate simplex facet %d: %w", i, err)
+		}
+		b := 0.0
+		for k := 0; k < d; k++ {
+			b += n[k] * facet[0][k]
+		}
+		// Orient so the opposite vertex is inside (n . V[i] <= b).
+		v := 0.0
+		for k := 0; k < d; k++ {
+			v += n[k] * s.V[i][k]
+		}
+		if v > b {
+			for k := range n {
+				n[k] = -n[k]
+			}
+			b = -b
+		}
+		hs = append(hs, Halfspace{Coef: n, Bound: b})
+	}
+	return &Polyhedron{HS: hs}, nil
+}
+
+// hyperplaneNormal finds a unit vector orthogonal to the affine hull of the
+// d points in pts (which live in R^d), i.e. a nonzero solution of
+// n . (pts[i] - pts[0]) = 0 for all i, via Gaussian elimination.
+func hyperplaneNormal(pts []Point) ([]float64, error) {
+	d := len(pts[0])
+	if len(pts) != d {
+		return nil, fmt.Errorf("need %d points for a hyperplane in R^%d, got %d", d, d, len(pts))
+	}
+	// Build the (d-1) x d system.
+	rows := make([][]float64, d-1)
+	for i := 1; i < d; i++ {
+		row := make([]float64, d)
+		for k := 0; k < d; k++ {
+			row[k] = pts[i][k] - pts[0][k]
+		}
+		rows[i-1] = row
+	}
+	n, ok := nullVector(rows, d)
+	if !ok {
+		return nil, fmt.Errorf("rank-deficient facet (collinear points)")
+	}
+	return n, nil
+}
+
+// nullVector returns a nonzero vector n in R^d with rows . n = 0, assuming
+// rows has rank d-1 (the generic case). Gaussian elimination with partial
+// pivoting determines d-1 pivot columns; the free column is set to 1 and the
+// pivots back-substituted.
+func nullVector(rows [][]float64, d int) ([]float64, bool) {
+	m := len(rows)
+	a := make([][]float64, m)
+	for i, r := range rows {
+		a[i] = append([]float64(nil), r...)
+	}
+	pivotCol := make([]int, 0, m)
+	isPivot := make([]bool, d)
+	r := 0
+	for c := 0; c < d && r < m; c++ {
+		// Partial pivot in column c among rows r..m-1.
+		p, pv := -1, 1e-12
+		for i := r; i < m; i++ {
+			if v := math.Abs(a[i][c]); v > pv {
+				p, pv = i, v
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		a[r], a[p] = a[p], a[r]
+		for i := 0; i < m; i++ {
+			if i == r || a[i][c] == 0 {
+				continue
+			}
+			f := a[i][c] / a[r][c]
+			for k := c; k < d; k++ {
+				a[i][k] -= f * a[r][k]
+			}
+		}
+		pivotCol = append(pivotCol, c)
+		isPivot[c] = true
+		r++
+	}
+	if r < d-1 {
+		return nil, false // rank below d-1: degenerate
+	}
+	// Pick the first free column.
+	free := -1
+	for c := 0; c < d; c++ {
+		if !isPivot[c] {
+			free = c
+			break
+		}
+	}
+	if free < 0 {
+		return nil, false
+	}
+	n := make([]float64, d)
+	n[free] = 1
+	for i := len(pivotCol) - 1; i >= 0; i-- {
+		c := pivotCol[i]
+		// Row i is the row whose pivot is column c.
+		s := a[i][free] * n[free]
+		for k := c + 1; k < d; k++ {
+			if k != free && isPivot[k] {
+				s += a[i][k] * n[k]
+			}
+		}
+		n[c] = -s / a[i][c]
+	}
+	// Normalize for numeric hygiene.
+	var norm float64
+	for _, v := range n {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 || math.IsNaN(norm) {
+		return nil, false
+	}
+	for i := range n {
+		n[i] /= norm
+	}
+	return n, true
+}

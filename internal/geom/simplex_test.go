@@ -1,0 +1,149 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplexValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong vertex count")
+		}
+	}()
+	NewSimplex(Point{0, 0}, Point{1, 0}) // a 2-simplex needs 3 vertices
+}
+
+func TestSimplexPolyhedron2D(t *testing.T) {
+	tri := NewSimplex(Point{0, 0}, Point{4, 0}, Point{0, 4})
+	ph, err := tri.Polyhedron()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ph.HS) != 3 {
+		t.Fatalf("triangle should yield 3 halfspaces, got %d", len(ph.HS))
+	}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{1, 1}, true},
+		{Point{0, 0}, true}, // vertex
+		{Point{2, 2}, true}, // on hypotenuse
+		{Point{3, 3}, false},
+		{Point{-0.1, 1}, false},
+		{Point{1, -0.1}, false},
+	}
+	for i, c := range cases {
+		if got := ph.ContainsPoint(c.p); got != c.want {
+			t.Errorf("case %d: ContainsPoint(%v) = %v, want %v", i, c.p, got, c.want)
+		}
+	}
+}
+
+func TestSimplexPolyhedron3D(t *testing.T) {
+	tet := NewSimplex(Point{0, 0, 0}, Point{2, 0, 0}, Point{0, 2, 0}, Point{0, 0, 2})
+	ph, err := tet.Polyhedron()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ph.HS) != 4 {
+		t.Fatalf("tetrahedron should yield 4 halfspaces, got %d", len(ph.HS))
+	}
+	if !ph.ContainsPoint(Point{0.3, 0.3, 0.3}) {
+		t.Fatal("interior point rejected")
+	}
+	if ph.ContainsPoint(Point{1, 1, 1}) {
+		t.Fatal("exterior point accepted")
+	}
+	// Barycenter is interior.
+	if !ph.ContainsPoint(Point{0.5, 0.5, 0.5}) {
+		t.Fatal("barycenter rejected")
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// A facet with coincident vertices is rank-deficient and must error.
+	deg := NewSimplex(Point{0, 0}, Point{1, 1}, Point{1, 1})
+	if _, err := deg.Polyhedron(); err == nil {
+		t.Fatal("expected error for a simplex with coincident vertices")
+	}
+	// A collinear (measure-zero) simplex is permitted: lifting produces
+	// degenerate simplices on purpose (Corollary 6). Its polyhedron is the
+	// segment's affine hull intersected with the edge constraints.
+	flat := NewSimplex(Point{0, 0}, Point{1, 1}, Point{2, 2})
+	if ph, err := flat.Polyhedron(); err != nil {
+		t.Fatalf("collinear simplex should build: %v", err)
+	} else if !ph.ContainsPoint(Point{1, 1}) {
+		t.Fatal("collinear simplex must contain its own vertices")
+	}
+}
+
+// Property: barycentric sampling — convex combinations of the vertices are
+// inside the facet polyhedron; points pushed past a vertex are outside.
+func TestSimplexBarycentricProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		v := []Point{
+			{rng.NormFloat64() * 3, rng.NormFloat64() * 3},
+			{rng.NormFloat64() * 3, rng.NormFloat64() * 3},
+			{rng.NormFloat64() * 3, rng.NormFloat64() * 3},
+		}
+		// Skip nearly-degenerate triangles.
+		area := (v[1][0]-v[0][0])*(v[2][1]-v[0][1]) - (v[1][1]-v[0][1])*(v[2][0]-v[0][0])
+		if area < 0.1 && area > -0.1 {
+			continue
+		}
+		ph, err := NewSimplex(v...).Polyhedron()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < 20; i++ {
+			a, b := rng.Float64(), rng.Float64()
+			if a+b > 1 {
+				a, b = 1-a, 1-b
+			}
+			c := 1 - a - b
+			p := Point{
+				a*v[0][0] + b*v[1][0] + c*v[2][0],
+				a*v[0][1] + b*v[1][1] + c*v[2][1],
+			}
+			if !ph.ContainsPoint(p) {
+				t.Fatalf("trial %d: barycentric point %v rejected", trial, p)
+			}
+		}
+		// Reflect vertex 0 through the opposite edge midpoint: outside.
+		mid := Point{(v[1][0] + v[2][0]) / 2, (v[1][1] + v[2][1]) / 2}
+		out := Point{2*mid[0] - v[0][0] + (mid[0] - v[0][0]), 2*mid[1] - v[0][1] + (mid[1] - v[0][1])}
+		if ph.ContainsPoint(out) {
+			t.Fatalf("trial %d: reflected exterior point %v accepted", trial, out)
+		}
+	}
+}
+
+func TestNullVectorOrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		d := 2 + rng.Intn(3) // dims 2..4
+		rows := make([][]float64, d-1)
+		for i := range rows {
+			rows[i] = make([]float64, d)
+			for j := range rows[i] {
+				rows[i][j] = rng.NormFloat64()
+			}
+		}
+		n, ok := nullVector(rows, d)
+		if !ok {
+			continue // random rank deficiency is astronomically unlikely but legal
+		}
+		for i, r := range rows {
+			var dot float64
+			for j := range r {
+				dot += r[j] * n[j]
+			}
+			if dot > 1e-8 || dot < -1e-8 {
+				t.Fatalf("trial %d: row %d not orthogonal (dot=%v)", trial, i, dot)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package geom
+
+import "fmt"
+
+// Sphere is a closed ball {x : ||x - Center||_2 <= Radius}, the query region
+// of the SRP-KW problem (Section 1.1).
+type Sphere struct {
+	Center Point
+	Radius float64
+}
+
+// NewSphere validates and returns the sphere.
+func NewSphere(center Point, radius float64) *Sphere {
+	if radius < 0 {
+		panic(fmt.Sprintf("geom: negative sphere radius %v", radius))
+	}
+	return &Sphere{Center: center, Radius: radius}
+}
+
+// Dim returns the ambient dimension.
+func (s *Sphere) Dim() int { return len(s.Center) }
+
+// ContainsPoint implements Region.
+func (s *Sphere) ContainsPoint(p Point) bool {
+	return s.Center.L2Sq(p) <= s.Radius*s.Radius
+}
+
+// RelateRect implements Region, exactly: the nearest and farthest points of
+// a box from the center are computed per coordinate.
+func (s *Sphere) RelateRect(lo, hi []float64) Relation {
+	r2 := s.Radius * s.Radius
+	var near, far float64
+	for i, c := range s.Center {
+		dLo, dHi := lo[i]-c, hi[i]-c
+		// Nearest coordinate offset.
+		switch {
+		case dLo > 0:
+			near += dLo * dLo
+		case dHi < 0:
+			near += dHi * dHi
+		}
+		// Farthest coordinate offset.
+		a, b := dLo*dLo, dHi*dHi
+		if a > b {
+			far += a
+		} else {
+			far += b
+		}
+	}
+	switch {
+	case near > r2:
+		return Disjoint
+	case far <= r2:
+		return Covered
+	default:
+		return Crossing
+	}
+}
+
+// RelatePolygon implements Region for 2D polygon cells: covered when every
+// vertex is inside; disjoint when the center's distance to the polygon
+// exceeds the radius; crossing otherwise.
+func (s *Sphere) RelatePolygon(poly *Polygon) Relation {
+	if poly.Empty() {
+		return Disjoint
+	}
+	covered := true
+	r2 := s.Radius * s.Radius
+	for _, v := range poly.V {
+		if s.Center.L2Sq(v) > r2 {
+			covered = false
+			break
+		}
+	}
+	if covered {
+		return Covered
+	}
+	if poly.ContainsPoint(s.Center) {
+		return Crossing
+	}
+	// Distance from center to the polygon boundary.
+	n := len(poly.V)
+	for i := 0; i < n; i++ {
+		if distSqToSegment(s.Center, poly.V[i], poly.V[(i+1)%n]) <= r2 {
+			return Crossing
+		}
+	}
+	return Disjoint
+}
+
+func distSqToSegment(p, a, b Point) float64 {
+	ax, ay := b[0]-a[0], b[1]-a[1]
+	px, py := p[0]-a[0], p[1]-a[1]
+	den := ax*ax + ay*ay
+	t := 0.0
+	if den > 0 {
+		t = (px*ax + py*ay) / den
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+	}
+	dx, dy := px-t*ax, py-t*ay
+	return dx*dx + dy*dy
+}

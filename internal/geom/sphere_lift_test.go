@@ -1,0 +1,150 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSphereContainsPoint(t *testing.T) {
+	s := NewSphere(Point{0, 0}, 1)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{1, 0}, true}, // boundary is closed
+		{Point{0.7, 0.7}, true},
+		{Point{0.8, 0.8}, false},
+	}
+	for i, c := range cases {
+		if got := s.ContainsPoint(c.p); got != c.want {
+			t.Errorf("case %d: ContainsPoint(%v) = %v, want %v", i, c.p, got, c.want)
+		}
+	}
+}
+
+func TestNewSphereNegativeRadiusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSphere(Point{0, 0}, -1)
+}
+
+func TestSphereRelateRect(t *testing.T) {
+	s := NewSphere(Point{0, 0}, 1)
+	cases := []struct {
+		lo, hi []float64
+		want   Relation
+	}{
+		{[]float64{-0.5, -0.5}, []float64{0.5, 0.5}, Covered},
+		{[]float64{2, 2}, []float64{3, 3}, Disjoint},
+		{[]float64{0, 0}, []float64{2, 2}, Crossing},
+		{[]float64{0.9, 0.9}, []float64{2, 2}, Disjoint}, // corner gap: nearest point (0.9,0.9) has norm > 1
+	}
+	for i, c := range cases {
+		if got := s.RelateRect(c.lo, c.hi); got != c.want {
+			t.Errorf("case %d: RelateRect = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSphereRelatePolygon(t *testing.T) {
+	s := NewSphere(Point{0.5, 0.5}, 2)
+	if r := s.RelatePolygon(NewSquare(0, 0, 1, 1)); r != Covered {
+		t.Fatalf("want Covered, got %v", r)
+	}
+	far := NewSphere(Point{10, 10}, 1)
+	if r := far.RelatePolygon(NewSquare(0, 0, 1, 1)); r != Disjoint {
+		t.Fatalf("want Disjoint, got %v", r)
+	}
+	cross := NewSphere(Point{1, 0.5}, 0.3)
+	if r := cross.RelatePolygon(NewSquare(0, 0, 1, 1)); r != Crossing {
+		t.Fatalf("want Crossing, got %v", r)
+	}
+	// Center inside but boundary pokes out.
+	poke := NewSphere(Point{0.5, 0.5}, 0.6)
+	if r := poke.RelatePolygon(NewSquare(0, 0, 1, 1)); r != Crossing {
+		t.Fatalf("want Crossing, got %v", r)
+	}
+	// Small sphere fully inside means the polygon crosses (not covered).
+	inner := NewSphere(Point{0.5, 0.5}, 0.1)
+	if r := inner.RelatePolygon(NewSquare(0, 0, 1, 1)); r != Crossing {
+		t.Fatalf("want Crossing, got %v", r)
+	}
+	if r := s.RelatePolygon(&Polygon{}); r != Disjoint {
+		t.Fatalf("empty polygon: want Disjoint, got %v", r)
+	}
+}
+
+// The defining property of the lifting technique (Corollary 6): p lies in
+// sphere B iff the lifted point satisfies the lifted halfspace.
+func TestLiftMembershipProperty(t *testing.T) {
+	f := func(px, py, cx, cy, r float64) bool {
+		r = 0.1 + mod1(r)*3
+		p := Point{mod1(px) * 4, mod1(py) * 4}
+		s := NewSphere(Point{mod1(cx) * 4, mod1(cy) * 4}, r)
+		h := LiftSphere(s)
+		return s.ContainsPoint(p) == h.Contains(Lift(p))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiftSphereSqMatchesLiftSphere(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		c := Point{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		r := rng.Float64() * 5
+		h1 := LiftSphere(NewSphere(c, r))
+		h2 := LiftSphereSq(c, r*r)
+		for j := range h1.Coef {
+			if h1.Coef[j] != h2.Coef[j] {
+				t.Fatal("coefficient mismatch")
+			}
+		}
+		if h1.Bound != h2.Bound {
+			t.Fatal("bound mismatch")
+		}
+	}
+}
+
+func TestLiftDimension(t *testing.T) {
+	p := Point{3, 4}
+	l := Lift(p)
+	if len(l) != 3 {
+		t.Fatalf("lift of R^2 point must be in R^3, got %d", len(l))
+	}
+	if l[2] != 25 {
+		t.Fatalf("lifted coordinate = %v, want 25", l[2])
+	}
+}
+
+func TestDistSqToSegment(t *testing.T) {
+	cases := []struct {
+		p, a, b Point
+		want    float64
+	}{
+		{Point{0, 1}, Point{-1, 0}, Point{1, 0}, 1}, // perpendicular to middle
+		{Point{2, 0}, Point{-1, 0}, Point{1, 0}, 1}, // beyond endpoint
+		{Point{0, 0}, Point{-1, 0}, Point{1, 0}, 0}, // on segment
+		{Point{5, 5}, Point{1, 1}, Point{1, 1}, 32}, // degenerate segment
+	}
+	for i, c := range cases {
+		if got := distSqToSegment(c.p, c.a, c.b); got != c.want {
+			t.Errorf("case %d: distSq = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func mod1(x float64) float64 {
+	m := math.Mod(math.Abs(x), 1)
+	if math.IsNaN(m) {
+		return 0
+	}
+	return m
+}

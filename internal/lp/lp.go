@@ -1,0 +1,190 @@
+// Package lp decides feasibility of small linear-inequality systems in fixed
+// (constant) dimension. The keyword-search indexes use it for one purpose:
+// deciding whether an axis-aligned box cell intersects a convex polyhedron
+// query (the cell-vs-query tests of the framework's Step 3 when the
+// underlying space-partitioning index has box cells in dimension d >= 3).
+//
+// Because every system we test is bounded (the box cell contributes 2d bound
+// constraints) and tiny (a query polyhedron has s = O(1) facets), the solver
+// enumerates candidate vertices: for every d-subset of constraint boundaries
+// it solves the d x d linear system and checks the solution against all
+// constraints. This is exact up to floating-point tolerance and runs in
+// O(C(m,d) * d^3) time for m constraints — a constant for the fixed m, d the
+// indexes use. Determinism keeps benchmark runs reproducible.
+package lp
+
+import "math"
+
+// Eps is the relative tolerance for constraint satisfaction. A violation
+// below Eps can only misclassify a barely-disjoint cell as "crossing", which
+// costs the indexes performance, never correctness.
+const Eps = 1e-9
+
+// Constraint is a linear inequality Coef . x <= Bound.
+type Constraint struct {
+	Coef  []float64
+	Bound float64
+}
+
+// Eval returns Coef . x.
+func (c Constraint) Eval(x []float64) float64 {
+	var s float64
+	for i, v := range c.Coef {
+		s += v * x[i]
+	}
+	return s
+}
+
+func (c Constraint) scale() float64 {
+	m := 1.0
+	for _, v := range c.Coef {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	if b := math.Abs(c.Bound); b > m {
+		m = b
+	}
+	return m
+}
+
+// satisfiedBy reports whether x satisfies c within tolerance.
+func (c Constraint) satisfiedBy(x []float64) bool {
+	return c.Eval(x) <= c.Bound+Eps*c.scale()*vecScale(x)
+}
+
+func vecScale(x []float64) float64 {
+	m := 1.0
+	for _, v := range x {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// FeasibleInBox reports whether the system {c.Coef . x <= c.Bound for all c}
+// has a solution inside the box [lo, hi]. The box must be finite and
+// non-empty; it bounds the feasible region, so feasibility is witnessed
+// either by the box center, by a vertex of the arrangement of constraint
+// boundaries and box facets, or not at all.
+func FeasibleInBox(cons []Constraint, lo, hi []float64) bool {
+	d := len(lo)
+	// Fast path: box center already feasible.
+	center := make([]float64, d)
+	for i := range lo {
+		center[i] = (lo[i] + hi[i]) / 2
+	}
+	if allSatisfied(cons, center) {
+		return true
+	}
+	// Gather every constraint boundary: query facets plus box facets.
+	all := make([]Constraint, 0, len(cons)+2*d)
+	all = append(all, cons...)
+	for i := 0; i < d; i++ {
+		cHi := make([]float64, d)
+		cHi[i] = 1
+		all = append(all, Constraint{Coef: cHi, Bound: hi[i]})
+		cLo := make([]float64, d)
+		cLo[i] = -1
+		all = append(all, Constraint{Coef: cLo, Bound: -lo[i]})
+	}
+	inBox := func(x []float64) bool {
+		for i := range lo {
+			span := hi[i] - lo[i]
+			if span < 1 {
+				span = 1
+			}
+			if x[i] < lo[i]-Eps*span || x[i] > hi[i]+Eps*span {
+				return false
+			}
+		}
+		return true
+	}
+	// If the feasible region is non-empty, it is a bounded polytope whose
+	// vertices each lie on d constraint boundaries. Enumerate d-subsets.
+	idx := make([]int, d)
+	x := make([]float64, d)
+	var rec func(start, depth int) bool
+	rec = func(start, depth int) bool {
+		if depth == d {
+			if !solveSquare(all, idx, x) {
+				return false
+			}
+			return inBox(x) && allSatisfied(cons, x)
+		}
+		for i := start; i <= len(all)-(d-depth); i++ {
+			idx[depth] = i
+			if rec(i+1, depth+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, 0)
+}
+
+func allSatisfied(cons []Constraint, x []float64) bool {
+	for _, c := range cons {
+		if !c.satisfiedBy(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// solveSquare solves the d x d system formed by making the constraints at
+// positions idx tight (Coef . x = Bound), via Gaussian elimination with
+// partial pivoting. It returns false for (near-)singular systems.
+func solveSquare(all []Constraint, idx []int, out []float64) bool {
+	d := len(idx)
+	// Build augmented matrix.
+	a := make([][]float64, d)
+	for r, ci := range idx {
+		row := make([]float64, d+1)
+		copy(row, all[ci].Coef)
+		row[d] = all[ci].Bound
+		a[r] = row
+	}
+	for col := 0; col < d; col++ {
+		// Partial pivot.
+		p, pv := -1, Eps
+		for r := col; r < d; r++ {
+			if v := math.Abs(a[r][col]); v > pv {
+				p, pv = r, v
+			}
+		}
+		if p < 0 {
+			return false
+		}
+		a[col], a[p] = a[p], a[col]
+		for r := col + 1; r < d; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= d; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	for r := d - 1; r >= 0; r-- {
+		s := a[r][d]
+		for c := r + 1; c < d; c++ {
+			s -= a[r][c] * out[c]
+		}
+		out[r] = s / a[r][r]
+	}
+	for _, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

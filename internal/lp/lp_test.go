@@ -1,0 +1,169 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func box(d int, lo, hi float64) ([]float64, []float64) {
+	l := make([]float64, d)
+	h := make([]float64, d)
+	for i := 0; i < d; i++ {
+		l[i], h[i] = lo, hi
+	}
+	return l, h
+}
+
+func TestFeasibleNoConstraints(t *testing.T) {
+	lo, hi := box(3, 0, 1)
+	if !FeasibleInBox(nil, lo, hi) {
+		t.Fatal("empty system inside a box must be feasible")
+	}
+}
+
+func TestFeasibleCenterFastPath(t *testing.T) {
+	lo, hi := box(2, 0, 1)
+	cons := []Constraint{{Coef: []float64{1, 1}, Bound: 10}}
+	if !FeasibleInBox(cons, lo, hi) {
+		t.Fatal("slack constraint must be feasible")
+	}
+}
+
+func TestInfeasibleSingleConstraint(t *testing.T) {
+	lo, hi := box(2, 0, 1)
+	// x + y <= -1 cannot hold in [0,1]^2.
+	cons := []Constraint{{Coef: []float64{1, 1}, Bound: -1}}
+	if FeasibleInBox(cons, lo, hi) {
+		t.Fatal("unsatisfiable constraint reported feasible")
+	}
+}
+
+func TestFeasibleOnlyAtCorner(t *testing.T) {
+	lo, hi := box(2, 0, 1)
+	// x + y >= 1.9 intersects [0,1]^2 only near the (1,1) corner.
+	cons := []Constraint{{Coef: []float64{-1, -1}, Bound: -1.9}}
+	if !FeasibleInBox(cons, lo, hi) {
+		t.Fatal("corner region reported infeasible")
+	}
+	// Push past the corner: infeasible.
+	cons[0].Bound = -2.1
+	if FeasibleInBox(cons, lo, hi) {
+		t.Fatal("region beyond the corner reported feasible")
+	}
+}
+
+func TestContradictoryPair(t *testing.T) {
+	lo, hi := box(2, -10, 10)
+	cons := []Constraint{
+		{Coef: []float64{1, 0}, Bound: 0},   // x <= 0
+		{Coef: []float64{-1, 0}, Bound: -1}, // x >= 1
+	}
+	if FeasibleInBox(cons, lo, hi) {
+		t.Fatal("contradictory constraints reported feasible")
+	}
+}
+
+func TestSinglePointFeasible(t *testing.T) {
+	lo, hi := box(2, 0, 1)
+	// x <= 0.5 and x >= 0.5 and y <= 0.5 and y >= 0.5: the single point
+	// (0.5, 0.5).
+	cons := []Constraint{
+		{Coef: []float64{1, 0}, Bound: 0.5},
+		{Coef: []float64{-1, 0}, Bound: -0.5},
+		{Coef: []float64{0, 1}, Bound: 0.5},
+		{Coef: []float64{0, -1}, Bound: -0.5},
+	}
+	if !FeasibleInBox(cons, lo, hi) {
+		t.Fatal("single-point region reported infeasible")
+	}
+}
+
+func TestThinSlabThroughBox(t *testing.T) {
+	lo, hi := box(3, 0, 1)
+	// A diagonal slab no box corner is inside.
+	cons := []Constraint{
+		{Coef: []float64{1, 1, 1}, Bound: 1.55},
+		{Coef: []float64{-1, -1, -1}, Bound: -1.45},
+	}
+	if !FeasibleInBox(cons, lo, hi) {
+		t.Fatal("diagonal slab through the box reported infeasible")
+	}
+}
+
+func TestEval(t *testing.T) {
+	c := Constraint{Coef: []float64{2, -1}, Bound: 0}
+	if v := c.Eval([]float64{3, 4}); v != 2 {
+		t.Fatalf("Eval = %v, want 2", v)
+	}
+}
+
+// Property: the decision agrees with dense rejection sampling. Sampling can
+// only prove feasibility, so mismatches are one-sided: if sampling finds a
+// feasible point the solver must agree.
+func TestFeasibilityVsSamplingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	agreeFeasible := 0
+	for trial := 0; trial < 400; trial++ {
+		d := 2 + rng.Intn(3)
+		lo, hi := box(d, 0, 1)
+		s := 1 + rng.Intn(4)
+		cons := make([]Constraint, s)
+		for i := range cons {
+			coef := make([]float64, d)
+			for j := range coef {
+				coef[j] = rng.NormFloat64()
+			}
+			cons[i] = Constraint{Coef: coef, Bound: rng.NormFloat64() * 0.5}
+		}
+		got := FeasibleInBox(cons, lo, hi)
+		found := false
+	sample:
+		for i := 0; i < 2000; i++ {
+			p := make([]float64, d)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			for _, c := range cons {
+				if c.Eval(p) > c.Bound {
+					continue sample
+				}
+			}
+			found = true
+			break
+		}
+		if found && !got {
+			t.Fatalf("trial %d: sampling found a feasible point but solver says infeasible", trial)
+		}
+		if found && got {
+			agreeFeasible++
+		}
+	}
+	if agreeFeasible == 0 {
+		t.Fatal("property test never exercised a feasible system; workload broken")
+	}
+}
+
+func TestSolveSquareIdentity(t *testing.T) {
+	all := []Constraint{
+		{Coef: []float64{1, 0}, Bound: 3},
+		{Coef: []float64{0, 1}, Bound: 4},
+	}
+	out := make([]float64, 2)
+	if !solveSquare(all, []int{0, 1}, out) {
+		t.Fatal("identity system must solve")
+	}
+	if out[0] != 3 || out[1] != 4 {
+		t.Fatalf("solution = %v, want [3 4]", out)
+	}
+}
+
+func TestSolveSquareSingular(t *testing.T) {
+	all := []Constraint{
+		{Coef: []float64{1, 1}, Bound: 1},
+		{Coef: []float64{2, 2}, Bound: 2},
+	}
+	out := make([]float64, 2)
+	if solveSquare(all, []int{0, 1}, out) {
+		t.Fatal("singular system must be rejected")
+	}
+}

@@ -1,0 +1,91 @@
+package spart
+
+import (
+	"sort"
+
+	"kwsc/internal/geom"
+)
+
+// Box is a general-dimension axis-median splitter with box cells that works
+// on raw (possibly tied) coordinates: the split plane is placed strictly
+// between two distinct coordinate values nearest the weighted median, so no
+// object ever lies on a boundary and pivot sets are empty. It is the
+// substrate used for SP-KW/LC-KW queries in dimension d >= 3 (e.g. the
+// lifted halfspaces of Corollary 6) and for the L2NN-KW integer grids of
+// Corollary 7, where exact coordinate ties are common and the
+// between-values placement replaces the symbolic perturbation of
+// Appendix D.4 (see DESIGN.md, substitution 2).
+type Box struct {
+	// Dim is the dimensionality of the points.
+	Dim int
+}
+
+// Fanout implements Splitter.
+func (b *Box) Fanout() int { return 2 }
+
+// RootCell implements Splitter.
+func (b *Box) RootCell(pts []geom.Point, objs []int32) Cell {
+	return geom.UniverseRect(b.Dim)
+}
+
+// Split implements Splitter. It tries axes starting at depth mod d and picks
+// the first axis admitting a split with both sides non-empty, preferring the
+// most weight-balanced boundary near the median.
+func (b *Box) Split(cell Cell, objs []int32, pts []geom.Point, weight []int32, depth int) ([]Cell, []int8, bool) {
+	rect := cell.(*geom.Rect)
+	total := totalWeight(objs, weight)
+	order := append([]int32(nil), objs...)
+	for off := 0; off < b.Dim; off++ {
+		axis := (depth + off) % b.Dim
+		sort.Slice(order, func(x, y int) bool { return pts[order[x]][axis] < pts[order[y]][axis] })
+		if pts[order[0]][axis] == pts[order[len(order)-1]][axis] {
+			continue // constant on this axis
+		}
+		// Find the boundary between distinct values that best balances
+		// weight: scan prefix weights and consider each value change.
+		var acc int64
+		bestSplit, bestCost := 0.0, int64(1)<<62
+		for i := 0; i+1 < len(order); i++ {
+			acc += weightOf(weight, order[i])
+			cur, nxt := pts[order[i]][axis], pts[order[i+1]][axis]
+			if cur == nxt {
+				continue
+			}
+			lw, rw := acc, total-acc
+			cost := lw
+			if rw > cost {
+				cost = rw
+			}
+			if cost < bestCost {
+				bestCost = cost
+				bestSplit = cur + (nxt-cur)/2
+				if bestSplit <= cur { // adjacent floats
+					bestSplit = nxt
+				}
+			}
+		}
+		if bestCost >= total {
+			continue
+		}
+		left := rect.Clone()
+		left.Hi[axis] = bestSplit
+		right := rect.Clone()
+		right.Lo[axis] = bestSplit
+		assign := make([]int8, len(objs))
+		for i, id := range objs {
+			if pts[id][axis] < bestSplit {
+				assign[i] = 0
+			} else {
+				assign[i] = 1
+			}
+		}
+		return []Cell{left, right}, assign, true
+	}
+	return nil, nil, false // all points identical
+}
+
+// Relate implements Splitter.
+func (b *Box) Relate(c Cell, q geom.Region) geom.Relation {
+	r := c.(*geom.Rect)
+	return q.RelateRect(r.Lo, r.Hi)
+}

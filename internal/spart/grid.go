@@ -1,0 +1,166 @@
+package spart
+
+import (
+	"sort"
+
+	"kwsc/internal/geom"
+)
+
+// Grid2D is the count-balanced slab-grid splitter used for the ablation
+// study of DESIGN.md experiment E6b: a node splits into G weight-balanced
+// vertical slabs, each further split into G weight-balanced rows, giving
+// fanout G^2. On benign (non-adversarial) inputs an arbitrary line crosses
+// O(G) of the G^2 cells, so the empirical crossing exponent approaches 1/2 —
+// matching the 1-1/d bound of Chan's tree that the paper assumes — but
+// unlike Willard2D the grid offers no worst-case guarantee (an adversarial
+// line can cross Theta(G^2) cells).
+type Grid2D struct {
+	// G is the per-axis grain; fanout is G*G. 0 means the default of 4.
+	G int
+}
+
+func (g *Grid2D) grain() int {
+	switch {
+	case g.G >= 2 && g.G <= 11: // 11*11 = 121 fits the int8 child codes
+		return g.G
+	case g.G > 11:
+		return 11
+	default:
+		return 4
+	}
+}
+
+// Fanout implements Splitter.
+func (g *Grid2D) Fanout() int { n := g.grain(); return n * n }
+
+// RootCell implements Splitter.
+func (g *Grid2D) RootCell(pts []geom.Point, objs []int32) Cell {
+	return geom.UniverseRect(2)
+}
+
+// Split implements Splitter.
+func (g *Grid2D) Split(cell Cell, objs []int32, pts []geom.Point, weight []int32, depth int) ([]Cell, []int8, bool) {
+	rect := cell.(*geom.Rect)
+	grain := g.grain()
+	order := append([]int32(nil), objs...)
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pts[order[a]][0], pts[order[b]][0]
+		if pa != pb {
+			return pa < pb
+		}
+		return order[a] < order[b]
+	})
+	if pts[order[0]][0] == pts[order[len(order)-1]][0] &&
+		samePointsOnAxis(order, pts, 1) {
+		return nil, nil, false
+	}
+	total := totalWeight(objs, weight)
+	// Slab boundaries: after every total/grain of weight, the next object's
+	// x-coordinate becomes a boundary and the object a pivot (the greedy
+	// packing of the paper's footnote 13, applied per axis).
+	slabOf := make(map[int32]int, len(objs))
+	pivot := make(map[int32]bool)
+	xBounds := packGreedy(order, pts, weight, 0, total, grain, slabOf, pivot)
+	// Rows within each slab.
+	rowOf := make(map[int32]int, len(objs))
+	yBounds := make([][]float64, grain)
+	for s := 0; s < grain; s++ {
+		var members []int32
+		for _, id := range order {
+			if !pivot[id] && slabOf[id] == s {
+				members = append(members, id)
+			}
+		}
+		if len(members) == 0 {
+			yBounds[s] = nil
+			continue
+		}
+		sort.Slice(members, func(a, b int) bool {
+			pa, pb := pts[members[a]][1], pts[members[b]][1]
+			if pa != pb {
+				return pa < pb
+			}
+			return members[a] < members[b]
+		})
+		yBounds[s] = packGreedy(members, pts, weight, 1, totalWeight(members, weight), grain, rowOf, pivot)
+	}
+	assign := make([]int8, len(objs))
+	for i, id := range objs {
+		if pivot[id] {
+			assign[i] = PivotChild
+			continue
+		}
+		assign[i] = int8(slabOf[id]*grain + rowOf[id])
+	}
+	// Build cells: slab s spans x in (bound[s-1], bound[s]) within rect.
+	cells := make([]Cell, grain*grain)
+	for s := 0; s < grain; s++ {
+		xlo, xhi := rect.Lo[0], rect.Hi[0]
+		if s > 0 && s-1 < len(xBounds) {
+			xlo = xBounds[s-1]
+		}
+		if s < len(xBounds) {
+			xhi = xBounds[s]
+		}
+		for r := 0; r < grain; r++ {
+			ylo, yhi := rect.Lo[1], rect.Hi[1]
+			yb := yBounds[s]
+			if r > 0 && r-1 < len(yb) {
+				ylo = yb[r-1]
+			}
+			if r < len(yb) {
+				yhi = yb[r]
+			}
+			if xlo > xhi {
+				xlo, xhi = xhi, xlo
+			}
+			if ylo > yhi {
+				ylo, yhi = yhi, ylo
+			}
+			cells[s*grain+r] = &geom.Rect{Lo: []float64{xlo, ylo}, Hi: []float64{xhi, yhi}}
+		}
+	}
+	return cells, assign, true
+}
+
+// packGreedy scans the pre-sorted objects and packs them greedily into
+// `grain` groups of weight at most total/grain each; the object following a
+// full group becomes a pivot and its coordinate a boundary (footnote 13).
+// It records group membership in groupOf and pivots in pivot, returning the
+// boundary coordinates.
+func packGreedy(order []int32, pts []geom.Point, weight []int32, axis int, total int64, grain int, groupOf map[int32]int, pivot map[int32]bool) []float64 {
+	budget := total / int64(grain)
+	if budget < 1 {
+		budget = 1
+	}
+	var bounds []float64
+	group, acc := 0, int64(0)
+	for _, id := range order {
+		w := weightOf(weight, id)
+		if acc+w > budget && group < grain-1 {
+			pivot[id] = true
+			bounds = append(bounds, pts[id][axis])
+			group++
+			acc = 0
+			continue
+		}
+		groupOf[id] = group
+		acc += w
+	}
+	return bounds
+}
+
+func samePointsOnAxis(order []int32, pts []geom.Point, axis int) bool {
+	for _, id := range order[1:] {
+		if pts[id][axis] != pts[order[0]][axis] {
+			return false
+		}
+	}
+	return true
+}
+
+// Relate implements Splitter.
+func (g *Grid2D) Relate(c Cell, q geom.Region) geom.Relation {
+	r := c.(*geom.Rect)
+	return q.RelateRect(r.Lo, r.Hi)
+}

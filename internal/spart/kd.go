@@ -1,0 +1,122 @@
+package spart
+
+import (
+	"sort"
+
+	"kwsc/internal/geom"
+)
+
+// KD is the kd-tree splitter of Section 3.1, generalized to d dimensions:
+// the cell of a node at depth t is split by an axis-parallel hyperplane on
+// dimension t mod d through the weighted-median object. Objects exactly on
+// the split hyperplane become pivots — with rank-space coordinates
+// (Section 3.4) that is exactly one object per split, giving the
+// constant-size pivot sets the analysis needs (footnote 8).
+//
+// For d = 2 the crossing sensitivity of any axis-parallel line is
+// O(sqrt(N)) (Section 3.3), which is what Theorem 1 rests on.
+type KD struct {
+	// Dim is the dimensionality of the points.
+	Dim int
+}
+
+// Fanout implements Splitter.
+func (k *KD) Fanout() int { return 2 }
+
+// RootCell implements Splitter: the root cell is all of R^d.
+func (k *KD) RootCell(pts []geom.Point, objs []int32) Cell {
+	return geom.UniverseRect(k.Dim)
+}
+
+// Split implements Splitter.
+func (k *KD) Split(cell Cell, objs []int32, pts []geom.Point, weight []int32, depth int) ([]Cell, []int8, bool) {
+	rect := cell.(*geom.Rect)
+	axis := depth % k.Dim
+	order := append([]int32(nil), objs...)
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pts[order[a]][axis], pts[order[b]][axis]
+		if pa != pb {
+			return pa < pb
+		}
+		return order[a] < order[b]
+	})
+	total := totalWeight(objs, weight)
+	// Weighted median: the first object at which the prefix weight reaches
+	// half the total.
+	var acc int64
+	m := -1
+	for i, id := range order {
+		acc += weightOf(weight, id)
+		if acc*2 >= total {
+			m = i
+			break
+		}
+	}
+	if m < 0 {
+		m = len(order) - 1
+	}
+	split := pts[order[m]][axis]
+	if split == pts[order[0]][axis] && split == pts[order[len(order)-1]][axis] {
+		// All coordinates equal on this axis; with rank-space input this
+		// cannot happen for len(objs) > 1, but guard for raw coordinates:
+		// try the remaining axes before giving up.
+		found := false
+		for off := 1; off < k.Dim; off++ {
+			a2 := (axis + off) % k.Dim
+			lo, hi := pts[order[0]][a2], pts[order[0]][a2]
+			for _, id := range order[1:] {
+				if c := pts[id][a2]; c < lo {
+					lo = c
+				} else if c > hi {
+					hi = c
+				}
+			}
+			if lo != hi {
+				axis = a2
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, nil, false
+		}
+		sort.Slice(order, func(a, b int) bool {
+			pa, pb := pts[order[a]][axis], pts[order[b]][axis]
+			if pa != pb {
+				return pa < pb
+			}
+			return order[a] < order[b]
+		})
+		acc = 0
+		for i, id := range order {
+			acc += weightOf(weight, id)
+			if acc*2 >= total {
+				m = i
+				break
+			}
+		}
+		split = pts[order[m]][axis]
+	}
+	left := rect.Clone()
+	left.Hi[axis] = split
+	right := rect.Clone()
+	right.Lo[axis] = split
+	assign := make([]int8, len(objs))
+	for i, id := range objs {
+		switch c := pts[id][axis]; {
+		case c < split:
+			assign[i] = 0
+		case c > split:
+			assign[i] = 1
+		default:
+			assign[i] = PivotChild
+		}
+	}
+	return []Cell{left, right}, assign, true
+}
+
+// Relate implements Splitter.
+func (k *KD) Relate(c Cell, q geom.Region) geom.Relation {
+	r := c.(*geom.Rect)
+	return q.RelateRect(r.Lo, r.Hi)
+}

@@ -1,0 +1,106 @@
+package spart
+
+import (
+	"sort"
+
+	"kwsc/internal/geom"
+)
+
+// Quad2D is a point-quadtree-style splitter: each node splits its cell into
+// four quadrants around the weighted two-dimensional median point (median x,
+// then median y of each half would skew; the quadtree uses one center for
+// all four, so the children share a corner). A line crosses at most 3 of 4
+// quadrants sharing a corner, giving the same O(n^{log4 3}) worst-case
+// crossing recurrence as the Willard tree with a much simpler construction —
+// but unlike Willard, the count balance per quadrant is not guaranteed
+// (a quadrant can hold up to half the weight), so depth bounds are
+// distribution-dependent. Included as a substrate ablation.
+type Quad2D struct{}
+
+// Fanout implements Splitter.
+func (q *Quad2D) Fanout() int { return 4 }
+
+// RootCell implements Splitter.
+func (q *Quad2D) RootCell(pts []geom.Point, objs []int32) Cell {
+	return geom.UniverseRect(2)
+}
+
+// Split implements Splitter: the center is (weighted median x, weighted
+// median y), computed independently per axis. Objects on either median line
+// become pivots.
+func (q *Quad2D) Split(cell Cell, objs []int32, pts []geom.Point, weight []int32, depth int) ([]Cell, []int8, bool) {
+	rect := cell.(*geom.Rect)
+	total := totalWeight(objs, weight)
+	center := make([]float64, 2)
+	for axis := 0; axis < 2; axis++ {
+		order := append([]int32(nil), objs...)
+		sort.Slice(order, func(a, b int) bool {
+			pa, pb := pts[order[a]][axis], pts[order[b]][axis]
+			if pa != pb {
+				return pa < pb
+			}
+			return order[a] < order[b]
+		})
+		m, ok := weightedMedianCoord(order, pts, weight, axis, total)
+		if !ok {
+			return nil, nil, false // constant on this axis
+		}
+		center[axis] = m
+	}
+	assign := make([]int8, len(objs))
+	counts := [4]int{}
+	pivots := 0
+	for i, id := range objs {
+		p := pts[id]
+		var xs, ys int8
+		switch {
+		case p[0] < center[0]:
+			xs = 0
+		case p[0] > center[0]:
+			xs = 1
+		default:
+			assign[i] = PivotChild
+			pivots++
+			continue
+		}
+		switch {
+		case p[1] < center[1]:
+			ys = 0
+		case p[1] > center[1]:
+			ys = 1
+		default:
+			assign[i] = PivotChild
+			pivots++
+			continue
+		}
+		assign[i] = 2*xs + ys
+		counts[2*xs+ys]++
+	}
+	// Guard against degenerate splits where one quadrant swallows
+	// everything and no pivot provides progress.
+	nonEmpty := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty <= 1 && pivots == 0 {
+		return nil, nil, false
+	}
+	mk := func(lox, loy, hix, hiy float64) Cell {
+		return &geom.Rect{Lo: []float64{lox, loy}, Hi: []float64{hix, hiy}}
+	}
+	cells := []Cell{
+		mk(rect.Lo[0], rect.Lo[1], center[0], center[1]),
+		mk(rect.Lo[0], center[1], center[0], rect.Hi[1]),
+		mk(center[0], rect.Lo[1], rect.Hi[0], center[1]),
+		mk(center[0], center[1], rect.Hi[0], rect.Hi[1]),
+	}
+	return cells, assign, true
+}
+
+// Relate implements Splitter.
+func (q *Quad2D) Relate(c Cell, r geom.Region) geom.Relation {
+	rect := c.(*geom.Rect)
+	return r.RelateRect(rect.Lo, rect.Hi)
+}

@@ -1,0 +1,185 @@
+package spart
+
+import "kwsc/internal/geom"
+
+// Tree is a plain (keyword-free) space-partitioning tree over a point set.
+// It serves three roles:
+//
+//   - the "structured only" naive baseline of Section 1 (report everything
+//     in the query region, then filter by keywords);
+//   - the pure-geometry sanity layer for the splitters;
+//   - the instrument for the crossing-sensitivity experiments (E6b, F1 in
+//     DESIGN.md): Query reports how many visited nodes were crossing vs
+//     covered, which is exactly the quantity expression (7) bounds.
+type Tree struct {
+	split    Splitter
+	pts      []geom.Point
+	nodes    []treeNode
+	leafSize int
+}
+
+type treeNode struct {
+	cell     Cell
+	children []int32
+	pivots   []int32 // boundary objects; for leaves, all objects
+	size     int32   // objects in subtree (pivots included)
+}
+
+// QueryStats instruments one query.
+type QueryStats struct {
+	Visited  int // nodes visited
+	Crossing int // visited nodes whose cell crosses the region boundary
+	Covered  int // visited nodes whose cell is fully covered
+	PtChecks int // individual point-in-region tests
+}
+
+// BuildTree constructs the tree. weight may be nil (unit weights); leafSize
+// <= 0 selects the default of 8.
+func BuildTree(pts []geom.Point, weight []int32, split Splitter, leafSize int) *Tree {
+	if leafSize <= 0 {
+		leafSize = 8
+	}
+	t := &Tree{split: split, pts: pts, leafSize: leafSize}
+	objs := make([]int32, len(pts))
+	for i := range objs {
+		objs[i] = int32(i)
+	}
+	if len(objs) == 0 {
+		return t
+	}
+	root := split.RootCell(pts, objs)
+	t.build(root, objs, weight, 0)
+	return t
+}
+
+// build appends the subtree for objs and returns its node index.
+func (t *Tree) build(cell Cell, objs []int32, weight []int32, depth int) int32 {
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, treeNode{cell: cell, size: int32(len(objs))})
+	if len(objs) <= t.leafSize {
+		t.nodes[idx].pivots = append([]int32(nil), objs...)
+		return idx
+	}
+	cells, assign, ok := t.split.Split(cell, objs, t.pts, weight, depth)
+	if !ok {
+		t.nodes[idx].pivots = append([]int32(nil), objs...)
+		return idx
+	}
+	groups := make([][]int32, len(cells))
+	var pivots []int32
+	for i, id := range objs {
+		if a := assign[i]; a == PivotChild {
+			pivots = append(pivots, id)
+		} else {
+			groups[a] = append(groups[a], id)
+		}
+	}
+	t.nodes[idx].pivots = pivots
+	for c, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		child := t.build(cells[c], g, weight, depth+1)
+		t.nodes[idx].children = append(t.nodes[idx].children, child)
+	}
+	return idx
+}
+
+// Len returns the number of nodes.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// Height returns the tree height (root = 0); -1 for an empty tree.
+func (t *Tree) Height() int {
+	if len(t.nodes) == 0 {
+		return -1
+	}
+	var rec func(n int32) int
+	rec = func(n int32) int {
+		h := 0
+		for _, c := range t.nodes[n].children {
+			if ch := rec(c) + 1; ch > h {
+				h = ch
+			}
+		}
+		return h
+	}
+	return rec(0)
+}
+
+// MaxPivots returns the largest pivot set of any internal node.
+func (t *Tree) MaxPivots() int {
+	m := 0
+	for _, n := range t.nodes {
+		if len(n.children) > 0 && len(n.pivots) > m {
+			m = len(n.pivots)
+		}
+	}
+	return m
+}
+
+// Query reports the ids of all points inside region q.
+func (t *Tree) Query(q geom.Region, report func(int32)) QueryStats {
+	var st QueryStats
+	if len(t.nodes) == 0 {
+		return st
+	}
+	t.visit(0, q, report, &st, false)
+	return st
+}
+
+func (t *Tree) visit(n int32, q geom.Region, report func(int32), st *QueryStats, covered bool) {
+	node := &t.nodes[n]
+	st.Visited++
+	if covered {
+		st.Covered++
+		for _, id := range node.pivots {
+			report(id)
+		}
+		for _, c := range node.children {
+			t.visit(c, q, report, st, true)
+		}
+		return
+	}
+	st.Crossing++
+	for _, id := range node.pivots {
+		st.PtChecks++
+		if q.ContainsPoint(t.pts[id]) {
+			report(id)
+		}
+	}
+	for _, c := range node.children {
+		switch t.split.Relate(t.nodes[c].cell, q) {
+		case geom.Disjoint:
+		case geom.Covered:
+			t.visit(c, q, report, st, true)
+		default:
+			t.visit(c, q, report, st, false)
+		}
+	}
+}
+
+// CrossingProfile visits the tree for region q without reporting and counts
+// crossing nodes per level — the T_cross of Section 3.3, used by the F1 and
+// E6b experiments.
+func (t *Tree) CrossingProfile(q geom.Region) []int {
+	var levels []int
+	if len(t.nodes) == 0 {
+		return levels
+	}
+	var rec func(n int32, depth int)
+	rec = func(n int32, depth int) {
+		for len(levels) <= depth {
+			levels = append(levels, 0)
+		}
+		levels[depth]++
+		for _, c := range t.nodes[n].children {
+			if t.split.Relate(t.nodes[c].cell, q) == geom.Crossing {
+				rec(c, depth+1)
+			}
+		}
+	}
+	if t.split.Relate(t.nodes[0].cell, q) == geom.Crossing {
+		rec(0, 0)
+	}
+	return levels
+}

@@ -1,0 +1,150 @@
+package twosi
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+)
+
+func buildRandom(rng *rand.Rand, n, vocab int) *dataset.Dataset {
+	objs := make([]dataset.Object, n)
+	for i := range objs {
+		l := 1 + rng.Intn(5)
+		doc := make([]dataset.Keyword, l)
+		for j := range doc {
+			doc[j] = dataset.Keyword(rng.Intn(vocab))
+		}
+		objs[i] = dataset.Object{Point: geom.Point{0}, Doc: doc}
+	}
+	return dataset.MustNew(objs)
+}
+
+func brute(ds *dataset.Dataset, a, b dataset.Keyword) []int32 {
+	var out []int32
+	for i := 0; i < ds.Len(); i++ {
+		if ds.Has(int32(i), a) && ds.Has(int32(i), b) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func TestReportMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := buildRandom(rng, 500, 16)
+	ix := Build(ds)
+	for a := dataset.Keyword(0); a < 16; a++ {
+		for b := a + 1; b < 16; b++ {
+			got, _, err := ix.Report(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := brute(ds, a, b)
+			sort.Slice(got, func(x, y int) bool { return got[x] < got[y] })
+			if len(got) != len(want) {
+				t.Fatalf("(%d,%d): got %d, want %d", a, b, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("(%d,%d): element %d mismatch", a, b, i)
+				}
+			}
+			empty, err := ix.Empty(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if empty != (len(want) == 0) {
+				t.Fatalf("(%d,%d): emptiness mismatch", a, b)
+			}
+		}
+	}
+}
+
+func TestDuplicateKeywordRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ix := Build(buildRandom(rng, 50, 8))
+	if _, _, err := ix.Report(3, 3); err == nil {
+		t.Fatal("duplicate keyword must error")
+	}
+	if _, err := ix.Empty(3, 3); err == nil {
+		t.Fatal("duplicate keyword must error in Empty")
+	}
+}
+
+func TestAbsentKeywords(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := buildRandom(rng, 100, 8)
+	ix := Build(ds)
+	got, st, err := ix.Report(100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("absent keywords produced results")
+	}
+	if st.Scanned > 0 {
+		t.Fatalf("absent keywords scanned %d entries", st.Scanned)
+	}
+}
+
+// The sqrt(N) (1 + sqrt(OUT)) shape: on a worst-case-shaped input (two
+// sub-threshold disjoint posting lists) the scan cost stays O(sqrt(N)).
+func TestEmptyIntersectionCostSqrtN(t *testing.T) {
+	for _, n := range []int{1 << 10, 1 << 12, 1 << 14} {
+		partial := int(0.9 * math.Sqrt(float64(3*n)))
+		objs := make([]dataset.Object, n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := range objs {
+			doc := []dataset.Keyword{2 + dataset.Keyword(rng.Intn(60)), 64 + dataset.Keyword(rng.Intn(60))}
+			switch {
+			case i < partial:
+				doc[0] = 0
+			case i < 2*partial:
+				doc[0] = 1
+			}
+			objs[i] = dataset.Object{Point: geom.Point{0}, Doc: doc}
+		}
+		ds := dataset.MustNew(objs)
+		ix := Build(ds)
+		got, st, err := ix.Report(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Fatal("planted intersection should be empty")
+		}
+		bound := int64(20 * math.Sqrt(float64(ds.N())))
+		if st.Scanned+int64(st.NodesVisited) > bound {
+			t.Fatalf("n=%d: cost %d exceeds O(sqrt N) bound %d",
+				n, st.Scanned+int64(st.NodesVisited), bound)
+		}
+	}
+}
+
+func TestSpaceLinearish(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s1 := Build(buildRandom(rng, 1000, 64)).SpaceWords()
+	s4 := Build(buildRandom(rng, 4000, 64)).SpaceWords()
+	if ratio := float64(s4) / float64(s1); ratio > 7 {
+		t.Fatalf("space grew %.1fx on 4x data", ratio)
+	}
+}
+
+func TestKeywordsEnumeration(t *testing.T) {
+	ds := dataset.MustNew([]dataset.Object{
+		{Point: geom.Point{0}, Doc: []dataset.Keyword{5, 2}},
+		{Point: geom.Point{0}, Doc: []dataset.Keyword{2, 9}},
+	})
+	ix := Build(ds)
+	ws := ix.Keywords()
+	if len(ws) != 3 || ws[0] != 2 || ws[1] != 5 || ws[2] != 9 {
+		t.Fatalf("Keywords = %v", ws)
+	}
+	if ix.NumNodes() < 1 {
+		t.Fatal("no nodes")
+	}
+}

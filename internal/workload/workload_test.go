@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+)
+
+func TestGenDefaults(t *testing.T) {
+	ds := Gen(Config{Seed: 1, Objects: 100})
+	if ds.Len() != 100 || ds.Dim() != 2 {
+		t.Fatalf("defaults wrong: len=%d dim=%d", ds.Len(), ds.Dim())
+	}
+	if ds.N() < 100 {
+		t.Fatal("every document must be non-empty")
+	}
+}
+
+func TestGenDeterministic(t *testing.T) {
+	a := Gen(Config{Seed: 42, Objects: 50})
+	b := Gen(Config{Seed: 42, Objects: 50})
+	for i := 0; i < 50; i++ {
+		if !a.Point(int32(i)).Equal(b.Point(int32(i))) {
+			t.Fatal("same seed must give same points")
+		}
+	}
+	c := Gen(Config{Seed: 43, Objects: 50})
+	same := true
+	for i := 0; i < 50; i++ {
+		if !a.Point(int32(i)).Equal(c.Point(int32(i))) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+func TestGenGridIsIntegral(t *testing.T) {
+	ds := Gen(Config{Seed: 2, Objects: 80, Points: "grid", GridSide: 100})
+	for i := 0; i < ds.Len(); i++ {
+		for _, c := range ds.Point(int32(i)) {
+			if c != float64(int64(c)) || c < 0 || c >= 100 {
+				t.Fatalf("grid coordinate %v out of contract", c)
+			}
+		}
+	}
+}
+
+func TestGenCluster(t *testing.T) {
+	ds := Gen(Config{Seed: 3, Objects: 200, Points: "cluster", Clusters: 3})
+	if ds.Len() != 200 {
+		t.Fatal("cluster generation lost objects")
+	}
+}
+
+func TestGenPlantedExactOut(t *testing.T) {
+	for _, out := range []int{0, 1, 17, 100} {
+		ds, kws, region := GenPlanted(Planted{Seed: 4, Objects: 600, Dim: 2, K: 2, Out: out, Partial: 50})
+		got := ds.Filter(region, kws)
+		if len(got) != out {
+			t.Fatalf("out=%d: oracle found %d matches", out, len(got))
+		}
+		// Full-space matches also equal Out: partial objects never carry
+		// all keywords.
+		all := ds.Filter(geom.FullSpace{}, kws)
+		if len(all) != out {
+			t.Fatalf("out=%d: full-space matches %d", out, len(all))
+		}
+	}
+}
+
+func TestGenPlantedPostingSizes(t *testing.T) {
+	ds, kws, _ := GenPlanted(Planted{Seed: 5, Objects: 2000, Dim: 2, K: 2, Out: 30, Partial: 200})
+	for _, w := range kws {
+		count := 0
+		for i := 0; i < ds.Len(); i++ {
+			if ds.Has(int32(i), w) {
+				count++
+			}
+		}
+		if count != 230 { // Out + Partial
+			t.Fatalf("posting size of keyword %d = %d, want 230", w, count)
+		}
+	}
+}
+
+func TestGenPlantedGrowsObjectBudget(t *testing.T) {
+	ds, _, _ := GenPlanted(Planted{Seed: 6, Objects: 10, Dim: 2, K: 2, Out: 50, Partial: 50})
+	if ds.Len() < 150 {
+		t.Fatalf("object budget not grown: %d", ds.Len())
+	}
+}
+
+func TestRandRectInsideUnitCube(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		r := RandRect(rng, 3, 0.25)
+		for j := 0; j < 3; j++ {
+			side := r.Hi[j] - r.Lo[j]
+			if r.Lo[j] < 0 || r.Hi[j] > 1 || side < 0.25-1e-12 || side > 0.25+1e-12 {
+				t.Fatalf("rect %v violates contract", r)
+			}
+		}
+	}
+}
+
+func TestRandKeywordsDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		ws := RandKeywords(rng, 40, 3)
+		if err := dataset.ValidateKeywords(ws); err != nil {
+			t.Fatalf("invalid keywords: %v", err)
+		}
+	}
+}
+
+func TestRandHalfspacesSelectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// frac = 0.5 keeps the center; frac near 0 rejects it.
+	hsWide := RandHalfspaces(rng, 2, 1, 0.9)
+	center := geom.Point{0.5, 0.5}
+	if !hsWide[0].Contains(center) {
+		t.Fatal("wide halfspace must keep the center")
+	}
+	hsNarrow := RandHalfspaces(rng, 2, 1, 0.1)
+	if hsNarrow[0].Contains(center) {
+		t.Fatal("narrow halfspace must exclude the center")
+	}
+}
+
+func TestGenAdversarialOutZero(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		ds, kws, slab := GenAdversarial(Adversarial{Seed: 9, Objects: 2000, Dim: 2, K: k})
+		if len(kws) != k {
+			t.Fatalf("got %d keywords, want %d", len(kws), k)
+		}
+		if got := ds.Filter(slab, kws); len(got) != 0 {
+			t.Fatalf("k=%d: slab should be empty of full matches, found %d", k, len(got))
+		}
+		// Full matches exist outside the slab.
+		if all := ds.Filter(geom.FullSpace{}, kws); len(all) == 0 {
+			t.Fatalf("k=%d: no full matches planted at all", k)
+		}
+	}
+}
+
+func TestGenAdversarialSubThresholdPostings(t *testing.T) {
+	ds, kws, _ := GenAdversarial(Adversarial{Seed: 10, Objects: 4000, Dim: 2, K: 2})
+	threshold := math.Pow(float64(ds.N()), 0.5)
+	for _, w := range kws {
+		count := 0
+		for i := 0; i < ds.Len(); i++ {
+			if ds.Has(int32(i), w) {
+				count++
+			}
+		}
+		// Posting = partial (sub-threshold) + pairs; must stay within a
+		// small factor of the threshold, as the worst case demands.
+		if float64(count) > 3*threshold {
+			t.Fatalf("keyword %d posting %d far above threshold %.0f", w, count, threshold)
+		}
+		if count == 0 {
+			t.Fatalf("keyword %d absent", w)
+		}
+	}
+}
+
+func TestGenAdversarial3D(t *testing.T) {
+	ds, kws, slab := GenAdversarial(Adversarial{Seed: 11, Objects: 1000, Dim: 3, K: 2})
+	if ds.Dim() != 3 || slab.Dim() != 3 {
+		t.Fatal("dimension plumbing broken")
+	}
+	if got := ds.Filter(slab, kws); len(got) != 0 {
+		t.Fatalf("3D slab should be empty, found %d", len(got))
+	}
+}
