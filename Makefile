@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench repro repro-quick examples clean
+.PHONY: all build test race cover bench bench-save repro repro-quick examples clean
 
 all: build test
 
@@ -13,14 +13,23 @@ build:
 test:
 	$(GO) test ./...
 
+# Race coverage over the concurrent paths: parallel builds, QueryBatch and
+# shared-index Collect calls all run under the detector.
 race:
-	$(GO) test -race ./...
+	$(GO) vet ./...
+	$(GO) test -race ./internal/core/ ./internal/spart/
 
 cover:
 	$(GO) test -cover ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Snapshot the tier-1 bench families as BENCH_<date>.json so later changes
+# have a perf trajectory to compare against.
+bench-save:
+	$(GO) test -run '^$$' -bench '^(BenchmarkE1ORPKW2D|BenchmarkE2ORPKW3D|BenchmarkORPKW2DCollect|BenchmarkORPKW2DCollectInto|BenchmarkBuildORPKW|BenchmarkBuildLCKW)' \
+		-benchmem -benchtime=20x . | $(GO) run ./cmd/benchsave -out BENCH_$(shell date +%Y-%m-%d).json
 
 # Regenerate every experiment of EXPERIMENTS.md (full sweeps; minutes).
 repro:

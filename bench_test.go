@@ -437,6 +437,61 @@ func BenchmarkBuildLCKW(b *testing.B) {
 	}
 }
 
+// Parallel construction: the same ORP-KW build at increasing worker budgets.
+// On a multi-core machine the par=4 and par=8 rows should come in well under
+// par=1; on a single core they coincide (the gate hands out no tokens).
+func BenchmarkBuildParallel(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 18} {
+		b.Run(fmt.Sprintf("ORPKW2D/N=%d", n), func(b *testing.B) {
+			ds := workload.Gen(workload.Config{Seed: 19, Objects: n, Dim: 2, Vocab: 256, DocLen: 5})
+			for _, par := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := NewORPKWWith(ds, 2, BuildOpts{Parallelism: par}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// Steady-state query allocation profile: Collect allocates only the result
+// slice; CollectInto with a warmed buffer allocates nothing.
+func BenchmarkORPKW2DCollect(b *testing.B) {
+	ds, kws, region := plantedFixture(24, 1<<15, 2, 2, 64, 1<<12)
+	ix, err := NewORPKW(ds, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.Collect(region, kws, QueryOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkORPKW2DCollectInto(b *testing.B) {
+	ds, kws, region := plantedFixture(24, 1<<15, 2, 2, 64, 1<<12)
+	ix, err := NewORPKW(ds, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]int32, 0, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids, _, err := ix.CollectInto(region, kws, QueryOpts{}, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = ids[:0]
+	}
+}
+
 // Keep the imports honest.
 var (
 	_ = core.QueryOpts{}

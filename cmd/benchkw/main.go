@@ -121,9 +121,11 @@ func e1() {
 			})
 			ix, err := core.BuildORPKW(ds, k)
 			check(err)
+			buf := make([]int32, 0, 256)
 			ops, out := meanQueryOps(func(i int) (core.QueryStats, int) {
-				ids, st, err := ix.Collect(slab, kws, core.QueryOpts{})
+				ids, st, err := ix.CollectInto(slab, kws, core.QueryOpts{}, buf)
 				check(err)
+				buf = ids[:0]
 				return st, len(ids)
 			})
 			if out != 0 {
@@ -158,9 +160,11 @@ func e1b() {
 		check(err)
 		inv := invidx.Build(ds)
 		so := core.BuildStructuredOnly(ds, nil)
+		buf := make([]int32, 0, 4096)
 		ops, _ := meanQueryOps(func(i int) (core.QueryStats, int) {
-			ids, st, err := ix.Collect(region, kws, core.QueryOpts{})
+			ids, st, err := ix.CollectInto(region, kws, core.QueryOpts{}, buf)
 			check(err)
+			buf = ids[:0]
 			return st, len(ids)
 		})
 		kwOps := float64(inv.ScanCost(kws))

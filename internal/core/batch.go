@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
@@ -27,8 +28,16 @@ type BatchResult struct {
 // parallelism <= 0 selects GOMAXPROCS. Results are positionally aligned
 // with the queries.
 func (ix *ORPKW) QueryBatch(queries []RectQuery, parallelism int) []BatchResult {
-	return runBatch(queries, parallelism, func(q RectQuery) BatchResult {
-		ids, st, err := ix.Collect(q.Rect, q.Keywords, q.Opts)
+	return ix.QueryBatchInto(queries, parallelism, nil)
+}
+
+// QueryBatchInto is QueryBatch reusing the IDs buffers of prev (typically
+// the result slice of an earlier batch); a warmed prev makes the batch
+// allocation-free apart from growth. prev may be nil or shorter than
+// queries.
+func (ix *ORPKW) QueryBatchInto(queries []RectQuery, parallelism int, prev []BatchResult) []BatchResult {
+	return runBatch(queries, parallelism, prev, func(q RectQuery, buf []int32) BatchResult {
+		ids, st, err := ix.CollectInto(q.Rect, q.Keywords, q.Opts, buf)
 		return BatchResult{IDs: ids, Stats: st, Err: err}
 	})
 }
@@ -36,13 +45,23 @@ func (ix *ORPKW) QueryBatch(queries []RectQuery, parallelism int) []BatchResult 
 // QueryBatch answers many queries concurrently on the dimension-reduction
 // index.
 func (ix *ORPKWHigh) QueryBatch(queries []RectQuery, parallelism int) []BatchResult {
-	return runBatch(queries, parallelism, func(q RectQuery) BatchResult {
-		ids, st, err := ix.Collect(q.Rect, q.Keywords, q.Opts)
+	return ix.QueryBatchInto(queries, parallelism, nil)
+}
+
+// QueryBatchInto is QueryBatch reusing the IDs buffers of prev.
+func (ix *ORPKWHigh) QueryBatchInto(queries []RectQuery, parallelism int, prev []BatchResult) []BatchResult {
+	return runBatch(queries, parallelism, prev, func(q RectQuery, buf []int32) BatchResult {
+		ids, st, err := ix.CollectInto(q.Rect, q.Keywords, q.Opts, buf)
 		return BatchResult{IDs: ids, Stats: st, Err: err}
 	})
 }
 
-func runBatch(queries []RectQuery, parallelism int, one func(RectQuery) BatchResult) []BatchResult {
+// batchBlock is the number of consecutive queries a worker claims per
+// fetch-and-add: large enough to amortize the atomic, small enough to keep
+// the tail balanced when per-query costs are skewed.
+const batchBlock = 16
+
+func runBatch(queries []RectQuery, parallelism int, prev []BatchResult, one func(RectQuery, []int32) BatchResult) []BatchResult {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -50,27 +69,44 @@ func runBatch(queries []RectQuery, parallelism int, one func(RectQuery) BatchRes
 		parallelism = len(queries)
 	}
 	results := make([]BatchResult, len(queries))
+	reuse := func(i int) []int32 {
+		if i < len(prev) {
+			return prev[i].IDs[:0]
+		}
+		return nil
+	}
 	if parallelism <= 1 {
 		for i, q := range queries {
-			results[i] = one(q)
+			results[i] = one(q, reuse(i))
 		}
 		return results
 	}
+	// Workers claim contiguous blocks of queries via an atomic cursor;
+	// results land at their query's position, so no channel or collection
+	// pass is needed and neighboring queries share cache lines per worker.
+	var next atomic.Int64
+	nblocks := (len(queries) + batchBlock - 1) / batchBlock
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				results[i] = one(queries[i])
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nblocks {
+					return
+				}
+				lo := b * batchBlock
+				hi := lo + batchBlock
+				if hi > len(queries) {
+					hi = len(queries)
+				}
+				for i := lo; i < hi; i++ {
+					results[i] = one(queries[i], reuse(i))
+				}
 			}
 		}()
 	}
-	for i := range queries {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	return results
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
@@ -25,6 +26,11 @@ type ORPKWHigh struct {
 	lastPair []geom.Point // rank coords of the final two dimensions
 	root     *drTree
 	space    SpaceBreakdown
+
+	gate *parGate // build-time goroutine budget, shared with secondaries
+
+	// rqPool recycles rank-space query rectangles (see ORPKW.rqPool).
+	rqPool sync.Pool
 }
 
 // drTree is the x-dimension tree cutting rank dimension off; its nodes carry
@@ -33,6 +39,17 @@ type drTree struct {
 	owner *ORPKWHigh
 	off   int
 	nodes []drNode
+	pend  []pendingSec // nodes whose secondary structures remain to build
+}
+
+// pendingSec defers one node's secondary structure: the tree skeleton is
+// built first (so the nodes slice stops reallocating), then the secondaries
+// — the dominant construction cost, one per internal node over that node's
+// full active set — are filled in, in parallel across nodes when the gate
+// has budget.
+type pendingSec struct {
+	idx  int32
+	objs []int32
 }
 
 type drNode struct {
@@ -49,6 +66,13 @@ const drLeafSize = 8
 
 // BuildORPKWHigh constructs the index; the dataset must have dimension >= 3.
 func BuildORPKWHigh(ds *dataset.Dataset, k int) (*ORPKWHigh, error) {
+	return BuildORPKWHighWith(ds, k, BuildOpts{})
+}
+
+// BuildORPKWHighWith is BuildORPKWHigh with explicit construction options.
+// The goroutine budget is shared between the x-dimension tree and every
+// per-node secondary framework build.
+func BuildORPKWHighWith(ds *dataset.Dataset, k int, opts BuildOpts) (*ORPKWHigh, error) {
 	if ds.Dim() < 3 {
 		return nil, fmt.Errorf("core: ORPKWHigh requires d >= 3 (got d=%d); use BuildORPKW", ds.Dim())
 	}
@@ -56,7 +80,7 @@ func BuildORPKWHigh(ds *dataset.Dataset, k int) (*ORPKWHigh, error) {
 		return nil, fmt.Errorf("core: k >= 2 required, got %d", k)
 	}
 	rs := dataset.NewRankSpace(ds)
-	ix := &ORPKWHigh{ds: ds, rs: rs, k: k, dim: ds.Dim()}
+	ix := &ORPKWHigh{ds: ds, rs: rs, k: k, dim: ds.Dim(), gate: newParGate(opts.Parallelism)}
 	ix.lastPair = make([]geom.Point, ds.Len())
 	for i := range ix.lastPair {
 		id := int32(i)
@@ -74,17 +98,64 @@ func BuildORPKWHigh(ds *dataset.Dataset, k int) (*ORPKWHigh, error) {
 		return nil, err
 	}
 	ix.root = t
+	ix.gate = nil
 	ix.accountSpace()
 	return ix, nil
 }
 
-// buildTree builds the x-dimension tree cutting dimension off over objs.
+// buildTree builds the x-dimension tree cutting dimension off over objs:
+// first the skeleton (cuts, pivots, children), then — once the nodes slice
+// is stable — the deferred secondary structures, fanned out across
+// goroutines as the gate's budget allows.
 func (ix *ORPKWHigh) buildTree(off int, objs []int32) (*drTree, error) {
 	t := &drTree{owner: ix, off: off}
 	if _, err := t.build(objs, 0); err != nil {
 		return nil, err
 	}
+	if err := t.buildSecondaries(); err != nil {
+		return nil, err
+	}
+	t.pend = nil
 	return t, nil
+}
+
+// buildSecondaries resolves the pending list. Each task touches only its own
+// node (distinct idx), so the only synchronization needed is the join and
+// the first-error capture.
+func (t *drTree) buildSecondaries() error {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	gate := t.owner.gate
+	for i := range t.pend {
+		p := t.pend[i]
+		if len(p.objs) >= parallelCutoff && gate.tryAcquire() {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer gate.release()
+				if err := t.buildSecondary(p.idx, p.objs); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}()
+			continue
+		}
+		if err := t.buildSecondary(p.idx, p.objs); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+	}
+	wg.Wait()
+	return firstErr
 }
 
 func (t *drTree) build(objs []int32, level int) (int32, error) {
@@ -151,10 +222,9 @@ func (t *drTree) build(objs []int32, level int) (int32, error) {
 		t.nodes[idx].pivots = pivots
 		return idx, nil
 	}
-	// Secondary structure over the full active set (pivots included).
-	if err := t.buildSecondary(idx, objs); err != nil {
-		return idx, err
-	}
+	// Secondary structure over the full active set (pivots included) —
+	// deferred until the skeleton is complete (see buildSecondaries).
+	t.pend = append(t.pend, pendingSec{idx: idx, objs: objs})
 	t.nodes[idx].pivots = pivots
 	for _, g := range groups {
 		if len(g) == 0 {
@@ -179,6 +249,10 @@ func (t *drTree) buildSecondary(idx int32, objs []int32) error {
 			Splitter: &spart.KD{Dim: 2},
 			Points:   ix.lastPair,
 			Objects:  append([]int32(nil), objs...),
+			// Share the owner's goroutine budget; Parallelism 1 keeps the
+			// secondary sequential when the owner has no gate at all.
+			Parallelism: 1,
+			gate:        ix.gate,
 		})
 		if err != nil {
 			return err
@@ -226,30 +300,115 @@ func (ix *ORPKWHigh) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, r
 	if q.Dim() != ix.dim {
 		return QueryStats{}, fmt.Errorf("core: query rectangle has dimension %d, index has %d", q.Dim(), ix.dim)
 	}
-	rq, ok := ix.rs.ToRankRect(q)
-	if !ok {
+	rq := ix.getRankRect()
+	defer ix.rqPool.Put(rq)
+	if !ix.rs.ToRankRectInto(q, rq) {
 		return QueryStats{}, nil
 	}
-	qc := &drQctx{ix: ix, rq: rq, ws: ws, opts: opts, report: report}
+	qc := getDrQctx()
+	qc.ix, qc.rq, qc.ws, qc.opts, qc.report = ix, rq, ws, opts, report
 	ix.root.visit(0, qc)
-	return qc.st, nil
+	st := qc.st
+	putDrQctx(qc)
+	return st, nil
 }
 
-// Collect is Query returning a slice.
+// Collect is Query returning a freshly allocated, caller-owned slice.
 func (ix *ORPKWHigh) Collect(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts) ([]int32, QueryStats, error) {
-	var out []int32
-	st, err := ix.Query(q, ws, opts, func(id int32) { out = append(out, id) })
-	return out, st, err
+	return ix.CollectInto(q, ws, opts, nil)
 }
 
+// CollectInto is Collect appending into buf, reusing its capacity. The
+// returned slice aliases buf only — never pooled scratch.
+func (ix *ORPKWHigh) CollectInto(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, buf []int32) ([]int32, QueryStats, error) {
+	if err := dataset.ValidateKeywords(ws); err != nil {
+		return nil, QueryStats{}, err
+	}
+	if len(ws) != ix.k {
+		return nil, QueryStats{}, fmt.Errorf("core: query carries %d keywords but the index was built for k=%d", len(ws), ix.k)
+	}
+	if q.Dim() != ix.dim {
+		return nil, QueryStats{}, fmt.Errorf("core: query rectangle has dimension %d, index has %d", q.Dim(), ix.dim)
+	}
+	rq := ix.getRankRect()
+	defer ix.rqPool.Put(rq)
+	if !ix.rs.ToRankRectInto(q, rq) {
+		return buf[:0], QueryStats{}, nil
+	}
+	qc := getDrQctx()
+	qc.ix, qc.rq, qc.ws, qc.opts = ix, rq, ws, opts
+	qc.collecting = true
+	scratch := buf == nil
+	if scratch {
+		qc.out = qc.res[:0]
+	} else {
+		qc.out = buf[:0]
+	}
+	ix.root.visit(0, qc)
+	out, st := qc.out, qc.st
+	if scratch {
+		qc.res = out[:0] // keep the grown scratch for the next query
+		if len(out) > 0 {
+			out = append([]int32(nil), out...)
+		} else {
+			out = nil
+		}
+	}
+	putDrQctx(qc) // clears qc.out: the pool never retains the returned slice
+	return out, st, nil
+}
+
+func (ix *ORPKWHigh) getRankRect() *geom.Rect {
+	if rq, ok := ix.rqPool.Get().(*geom.Rect); ok {
+		return rq
+	}
+	return &geom.Rect{Lo: make([]float64, ix.dim), Hi: make([]float64, ix.dim)}
+}
+
+// drQctx is the per-query traversal state of the dimension-reduction tree.
+// Contexts are pooled; the secondary-query rectangle and the emit closure
+// are built once per context and survive between queries.
 type drQctx struct {
-	ix     *ORPKWHigh
-	rq     *geom.Rect
-	ws     []dataset.Keyword
-	opts   QueryOpts
-	report func(int32)
-	st     QueryStats
-	done   bool
+	ix         *ORPKWHigh
+	rq         *geom.Rect
+	ws         []dataset.Keyword
+	opts       QueryOpts
+	report     func(int32)
+	collecting bool
+	out        []int32
+	res        []int32 // scratch accumulator for buf-less CollectInto
+	st         QueryStats
+	done       bool
+
+	secRect geom.Rect   // scratch rectangle for type-1 secondary queries
+	emitFn  func(int32) // persistent closure handed to secondary queries
+}
+
+var drQctxPool = sync.Pool{New: func() any {
+	qc := &drQctx{secRect: geom.Rect{Lo: make([]float64, 2), Hi: make([]float64, 2)}}
+	qc.emitFn = qc.deliver
+	return qc
+}}
+
+func getDrQctx() *drQctx { return drQctxPool.Get().(*drQctx) }
+
+func putDrQctx(qc *drQctx) {
+	qc.ix, qc.rq, qc.ws, qc.report, qc.out = nil, nil, nil, nil, nil
+	qc.res = qc.res[:0]
+	qc.opts, qc.st = QueryOpts{}, QueryStats{}
+	qc.collecting, qc.done = false, false
+	drQctxPool.Put(qc)
+}
+
+// deliver routes one reported object id to the caller (Reported counting is
+// the caller's job: pivot checks count directly, secondary queries are
+// merged via QueryStats.add).
+func (qc *drQctx) deliver(id int32) {
+	if qc.collecting {
+		qc.out = append(qc.out, id)
+	} else {
+		qc.report(id)
+	}
 }
 
 func (qc *drQctx) stop() bool {
@@ -285,7 +444,7 @@ func (qc *drQctx) checkPivot(id int32, from int) {
 	qc.st.PivotChecks++
 	qc.st.Ops++
 	if qc.containsFrom(id, from) && qc.ix.ds.HasAll(id, qc.ws) {
-		qc.report(id)
+		qc.deliver(id)
 		qc.st.Reported++
 	}
 }
@@ -338,14 +497,11 @@ func (t *drTree) visit(u int32, qc *drQctx) {
 func (t *drTree) querySecondary(n *drNode, qc *drQctx) {
 	switch {
 	case n.secKD != nil:
-		sub := &geom.Rect{
-			Lo: []float64{qc.rq.Lo[qc.ix.dim-2], qc.rq.Lo[qc.ix.dim-1]},
-			Hi: []float64{qc.rq.Hi[qc.ix.dim-2], qc.rq.Hi[qc.ix.dim-1]},
-		}
+		sub := &qc.secRect
+		sub.Lo[0], sub.Lo[1] = qc.rq.Lo[qc.ix.dim-2], qc.rq.Lo[qc.ix.dim-1]
+		sub.Hi[0], sub.Hi[1] = qc.rq.Hi[qc.ix.dim-2], qc.rq.Hi[qc.ix.dim-1]
 		opts := qc.remainingOpts()
-		st, err := n.secKD.Query(sub, qc.ws, opts, func(id int32) {
-			qc.report(id)
-		})
+		st, err := n.secKD.Query(sub, qc.ws, opts, qc.emitFn)
 		if err == nil {
 			qc.st.add(st)
 		}

@@ -10,7 +10,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"kwsc/internal/bits"
 	"kwsc/internal/dataset"
@@ -97,6 +97,14 @@ type FrameworkConfig struct {
 	Objects []int32
 	// LeafSize is the maximum number of objects in a leaf (default 8).
 	LeafSize int
+	// Parallelism caps the goroutines used to build the tree (see
+	// BuildOpts): <= 0 selects GOMAXPROCS, 1 forces a sequential build.
+	Parallelism int
+
+	// gate shares one goroutine budget across nested builds (the
+	// dimension-reduction tree builds one framework per node); when set it
+	// overrides Parallelism.
+	gate *parGate
 }
 
 // BuildFramework runs Step 2 of the framework over the dataset.
@@ -148,33 +156,54 @@ func BuildFramework(ds *dataset.Dataset, cfg FrameworkConfig) (*Framework, error
 			}
 		}
 	}
-	b := &builder{f: f, cnt: make(map[dataset.Keyword]int64, len(incoming))}
+	gate := cfg.gate
+	if gate == nil {
+		gate = newParGate(cfg.Parallelism)
+	}
+	b := &builder{f: f, cnt: make(map[dataset.Keyword]int64, len(incoming)), gate: gate}
 	root := f.split.RootCell(pts, objs)
 	b.build(root, objs, incoming, 0)
+	f.nodes = b.nodes
 	f.accountSpace()
 	return f, nil
 }
 
-// builder carries the reusable scratch map used to count keyword
-// occurrences per node; keys present in the map are exactly the node's
-// incoming keywords.
+// builder accumulates the subtree it is responsible for in its own nodes
+// slice (child indexes are local to that slice) and carries the reusable
+// scratch map used to count keyword occurrences per node; keys present in
+// the map are exactly the node's incoming keywords. Parallel construction
+// gives each spawned subtree its own builder and grafts the finished slice
+// into the parent's, so builders never share mutable state.
 type builder struct {
-	f   *Framework
-	cnt map[dataset.Keyword]int64
+	f     *Framework
+	cnt   map[dataset.Keyword]int64
+	nodes []fnode
+	gate  *parGate
 }
 
-// build creates the subtree for objs and returns its node index.
+// childResult is one child subtree of an internal node under construction:
+// its non-emptiness tensor plus either a root index into the parent
+// builder's nodes (inline build, sub == nil) or a completed sub-builder
+// whose nodes await grafting.
+type childResult struct {
+	tensor *bits.Dense
+	root   int32
+	sub    *builder
+}
+
+// build creates the subtree for objs and returns its node index within
+// b.nodes.
 func (b *builder) build(cell spart.Cell, objs []int32, incoming []dataset.Keyword, depth int) int32 {
 	f := b.f
-	idx := int32(len(f.nodes))
-	f.nodes = append(f.nodes, fnode{cell: cell})
+	idx := int32(len(b.nodes))
+	b.nodes = append(b.nodes, fnode{cell: cell})
 	var nu int64
 	for _, id := range objs {
 		nu += int64(f.weight[id])
 	}
-	f.nodes[idx].nu = nu
+	b.nodes[idx].nu = nu
 	if len(objs) <= f.leafSize {
-		f.nodes[idx].pivots = append([]int32(nil), objs...)
+		b.nodes[idx].pivots = append([]int32(nil), objs...)
 		return idx
 	}
 
@@ -220,7 +249,7 @@ func (b *builder) build(cell spart.Cell, objs []int32, incoming []dataset.Keywor
 	cells, assign, ok := f.split.Split(cell, objs, f.pts, f.weight, depth)
 	if !ok {
 		// No geometric progress possible: finish as a leaf.
-		f.nodes[idx].pivots = append([]int32(nil), objs...)
+		b.nodes[idx].pivots = append([]int32(nil), objs...)
 		return idx
 	}
 	groups := make([][]int32, len(cells))
@@ -232,43 +261,115 @@ func (b *builder) build(cell spart.Cell, objs []int32, incoming []dataset.Keywor
 			groups[a] = append(groups[a], id)
 		}
 	}
-	f.nodes[idx].pivots = pivots
-	f.nodes[idx].large = large
-	f.nodes[idx].l = int32(len(largeList))
-	f.nodes[idx].mat = mat
+	b.nodes[idx].pivots = pivots
+	b.nodes[idx].large = large
+	b.nodes[idx].l = int32(len(largeList))
+	b.nodes[idx].mat = mat
 
-	// The k-dimensional non-emptiness bit arrays, one per child: bit at the
+	// Per child: the k-dimensional non-emptiness bit array (bit at the
 	// sorted tuple (i1 < ... < ik) of large-keyword indexes is set iff some
-	// object in the child's active set carries all k keywords.
+	// object in the child's active set carries all k keywords) and the child
+	// subtree. Both depend only on the child's objects plus this node's
+	// read-only large map, so heavy children are handed to other goroutines
+	// when the gate has budget; the rest build inline. The results slice is
+	// sized up front because spawned goroutines hold pointers into it.
 	L := len(largeList)
 	tsize := tensorSize(L, f.k)
-	childIdx := make([]int32, 0, len(cells))
-	tensors := make([]*bits.Dense, 0, len(cells))
-	scratch := make([]int32, 0, 16)
+	nz := 0
+	for _, g := range groups {
+		if len(g) > 0 {
+			nz++
+		}
+	}
+	results := make([]childResult, nz)
+	var wg sync.WaitGroup
+	ri := 0
 	for c, g := range groups {
 		if len(g) == 0 {
 			continue
 		}
-		t := bits.NewDense(int(tsize))
-		for _, id := range g {
-			scratch = scratch[:0]
-			for _, w := range f.ds.Doc(id) {
-				if li, isLarge := large[w]; isLarge {
-					scratch = append(scratch, li)
-				}
+		r := &results[ri]
+		ri++
+		childCell := cells[c]
+		if len(g) >= parallelCutoff && b.gate.tryAcquire() {
+			sub := &builder{
+				f:    f,
+				cnt:  make(map[dataset.Keyword]int64, len(largeList)),
+				gate: b.gate,
 			}
-			if len(scratch) >= f.k {
-				sort.Slice(scratch, func(a, b int) bool { return scratch[a] < scratch[b] })
-				markCombinations(t, scratch, f.k, L)
+			r.sub = sub
+			wg.Add(1)
+			go func(g []int32) {
+				defer wg.Done()
+				defer b.gate.release()
+				r.tensor = f.fillTensor(g, large, L, tsize)
+				r.root = sub.build(childCell, g, largeList, depth+1)
+			}(g)
+			continue
+		}
+		r.tensor = f.fillTensor(g, large, L, tsize)
+		r.root = b.build(childCell, g, largeList, depth+1)
+	}
+	wg.Wait()
+
+	// Graft spawned subtrees, preserving child order; only node placement
+	// within the flat array differs from a sequential build.
+	childIdx := make([]int32, 0, nz)
+	tensors := make([]*bits.Dense, 0, nz)
+	for i := range results {
+		r := &results[i]
+		if r.sub != nil {
+			off := int32(len(b.nodes))
+			for _, n := range r.sub.nodes {
+				for ci := range n.children {
+					n.children[ci] += off
+				}
+				b.nodes = append(b.nodes, n)
+			}
+			childIdx = append(childIdx, off+r.root)
+		} else {
+			childIdx = append(childIdx, r.root)
+		}
+		tensors = append(tensors, r.tensor)
+	}
+	b.nodes[idx].children = childIdx
+	b.nodes[idx].tensors = tensors
+	return idx
+}
+
+// fillTensor builds the non-emptiness bit array of one child over its
+// objects g, given the parent's large-keyword numbering.
+func (f *Framework) fillTensor(g []int32, large map[dataset.Keyword]int32, L int, tsize int64) *bits.Dense {
+	t := bits.NewDense(int(tsize))
+	scratch := make([]int32, 0, 16)
+	for _, id := range g {
+		scratch = scratch[:0]
+		for _, w := range f.ds.Doc(id) {
+			if li, isLarge := large[w]; isLarge {
+				scratch = append(scratch, li)
 			}
 		}
-		tensors = append(tensors, t)
-		child := b.build(cells[c], g, largeList, depth+1)
-		childIdx = append(childIdx, child)
+		if len(scratch) >= f.k {
+			sortInt32s(scratch)
+			markCombinations(t, scratch, f.k, L)
+		}
 	}
-	f.nodes[idx].children = childIdx
-	f.nodes[idx].tensors = tensors
-	return idx
+	return t
+}
+
+// sortInt32s is an allocation-free insertion sort for the short slices the
+// build and query hot paths produce (query keyword tuples, per-document
+// large-keyword lists).
+func sortInt32s(s []int32) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
 }
 
 // tensorSize returns L^k, saturating safely (L^k <= N_u by the large-keyword

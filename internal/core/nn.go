@@ -42,12 +42,17 @@ type LinfNN struct {
 
 // BuildLinfNN constructs the index for k-keyword queries.
 func BuildLinfNN(ds *dataset.Dataset, k int) (*LinfNN, error) {
+	return BuildLinfNNWith(ds, k, BuildOpts{})
+}
+
+// BuildLinfNNWith is BuildLinfNN with explicit construction options.
+func BuildLinfNNWith(ds *dataset.Dataset, k int, opts BuildOpts) (*LinfNN, error) {
 	var base rectQuerier
 	var err error
 	if ds.Dim() <= 2 {
-		base, err = BuildORPKW(ds, k)
+		base, err = BuildORPKWWith(ds, k, opts)
 	} else {
-		base, err = BuildORPKWHigh(ds, k)
+		base, err = BuildORPKWHighWith(ds, k, opts)
 	}
 	if err != nil {
 		return nil, err
@@ -65,14 +70,13 @@ func BuildLinfNN(ds *dataset.Dataset, k int) (*LinfNN, error) {
 	return ix, nil
 }
 
-// ball returns the L∞-ball B(q, r) as a d-rectangle.
-func linfBall(q geom.Point, r float64) *geom.Rect {
-	lo := make([]float64, len(q))
-	hi := make([]float64, len(q))
+// linfBallInto fills dst with the L∞-ball B(q, r) as a d-rectangle; one
+// search reuses a single rectangle across all of its probe queries.
+func linfBallInto(dst *geom.Rect, q geom.Point, r float64) *geom.Rect {
 	for i, c := range q {
-		lo[i], hi[i] = c-r, c+r
+		dst.Lo[i], dst.Hi[i] = c-r, c+r
 	}
-	return &geom.Rect{Lo: lo, Hi: hi}
+	return dst
 }
 
 // countCandidates returns the number of candidate radii <= r. A candidate
@@ -167,9 +171,10 @@ func (ix *LinfNN) Query(q geom.Point, t int, ws []dataset.Keyword) ([]NNResult, 
 		return nil, NNStats{}, err
 	}
 	var ns NNStats
+	ball := &geom.Rect{Lo: make([]float64, ix.dim), Hi: make([]float64, ix.dim)}
 	atLeastT := func(r float64) (bool, error) {
 		ns.Probes++
-		st, err := ix.base.Query(linfBall(q, r), ws, QueryOpts{Limit: t}, func(int32) {})
+		st, err := ix.base.Query(linfBallInto(ball, q, r), ws, QueryOpts{Limit: t}, func(int32) {})
 		ns.Inner.add(st)
 		return st.Reported >= t, err
 	}
@@ -213,7 +218,7 @@ func (ix *LinfNN) Query(q geom.Point, t int, ws []dataset.Keyword) ([]NNResult, 
 	// arbitrarily, as the problem statement allows.
 	var res []NNResult
 	ns.Probes++
-	st, err := ix.base.Query(linfBall(q, rStar), ws, QueryOpts{}, func(id int32) {
+	st, err := ix.base.Query(linfBallInto(ball, q, rStar), ws, QueryOpts{}, func(id int32) {
 		res = append(res, NNResult{ID: id, Dist: q.LInf(ix.ds.Point(id))})
 	})
 	ns.Inner.add(st)
@@ -246,6 +251,11 @@ type L2NN struct {
 // BuildL2NN constructs the index; every coordinate must be integral (the
 // problem fixes D in N^d, the O(log N)-bit integers).
 func BuildL2NN(ds *dataset.Dataset, k int) (*L2NN, error) {
+	return BuildL2NNWith(ds, k, BuildOpts{})
+}
+
+// BuildL2NNWith is BuildL2NN with explicit construction options.
+func BuildL2NNWith(ds *dataset.Dataset, k int, opts BuildOpts) (*L2NN, error) {
 	for i := 0; i < ds.Len(); i++ {
 		for j, c := range ds.Point(int32(i)) {
 			if c != math.Trunc(c) {
@@ -253,7 +263,7 @@ func BuildL2NN(ds *dataset.Dataset, k int) (*L2NN, error) {
 			}
 		}
 	}
-	srp, err := BuildSRPKW(ds, k)
+	srp, err := BuildSRPKWWith(ds, k, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
@@ -18,19 +19,31 @@ type ORPKW struct {
 	ds *dataset.Dataset
 	rs *dataset.RankSpace
 	fw *Framework
+
+	// rqPool recycles rank-space query rectangles so the steady-state query
+	// path allocates nothing; entries never leave this index's methods.
+	rqPool sync.Pool
 }
 
-// BuildORPKW constructs the index for queries carrying exactly k keywords.
+// BuildORPKW constructs the index for queries carrying exactly k keywords,
+// using every core (BuildOpts zero value).
 func BuildORPKW(ds *dataset.Dataset, k int) (*ORPKW, error) {
+	return BuildORPKWWith(ds, k, BuildOpts{})
+}
+
+// BuildORPKWWith is BuildORPKW with explicit construction options. Parallel
+// and sequential builds answer every query identically.
+func BuildORPKWWith(ds *dataset.Dataset, k int, opts BuildOpts) (*ORPKW, error) {
 	rs := dataset.NewRankSpace(ds)
 	pts := make([]geom.Point, ds.Len())
 	for i := range pts {
 		pts[i] = rs.RankPoint(int32(i))
 	}
 	fw, err := BuildFramework(ds, FrameworkConfig{
-		K:        k,
-		Splitter: &spart.KD{Dim: ds.Dim()},
-		Points:   pts,
+		K:           k,
+		Splitter:    &spart.KD{Dim: ds.Dim()},
+		Points:      pts,
+		Parallelism: opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -40,14 +53,23 @@ func BuildORPKW(ds *dataset.Dataset, k int) (*ORPKW, error) {
 	return ix, nil
 }
 
+func (ix *ORPKW) getRankRect() *geom.Rect {
+	if rq, ok := ix.rqPool.Get().(*geom.Rect); ok {
+		return rq
+	}
+	d := ix.ds.Dim()
+	return &geom.Rect{Lo: make([]float64, d), Hi: make([]float64, d)}
+}
+
 // Query reports every object in q whose document contains all keywords,
 // converting q to rank space in O(log N) first.
 func (ix *ORPKW) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
 	if q.Dim() != ix.ds.Dim() {
 		return QueryStats{}, fmt.Errorf("core: query rectangle has dimension %d, index has %d", q.Dim(), ix.ds.Dim())
 	}
-	rq, ok := ix.rs.ToRankRect(q)
-	if !ok {
+	rq := ix.getRankRect()
+	defer ix.rqPool.Put(rq)
+	if !ix.rs.ToRankRectInto(q, rq) {
 		// The rectangle misses every coordinate on some dimension.
 		if err := dataset.ValidateKeywords(ws); err != nil {
 			return QueryStats{}, err
@@ -57,11 +79,27 @@ func (ix *ORPKW) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, repor
 	return ix.fw.Query(rq, ws, opts, report)
 }
 
-// Collect is Query returning a slice.
+// Collect is Query returning a freshly allocated, caller-owned slice.
 func (ix *ORPKW) Collect(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts) ([]int32, QueryStats, error) {
-	var out []int32
-	st, err := ix.Query(q, ws, opts, func(id int32) { out = append(out, id) })
-	return out, st, err
+	return ix.CollectInto(q, ws, opts, nil)
+}
+
+// CollectInto is Collect appending into buf, reusing its capacity. With a
+// warmed buffer the query path performs zero heap allocations; the returned
+// slice aliases buf only, so the caller owns the result.
+func (ix *ORPKW) CollectInto(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, buf []int32) ([]int32, QueryStats, error) {
+	if q.Dim() != ix.ds.Dim() {
+		return nil, QueryStats{}, fmt.Errorf("core: query rectangle has dimension %d, index has %d", q.Dim(), ix.ds.Dim())
+	}
+	rq := ix.getRankRect()
+	defer ix.rqPool.Put(rq)
+	if !ix.rs.ToRankRectInto(q, rq) {
+		if err := dataset.ValidateKeywords(ws); err != nil {
+			return nil, QueryStats{}, err
+		}
+		return buf[:0], QueryStats{}, nil
+	}
+	return ix.fw.CollectInto(rq, ws, opts, buf)
 }
 
 // Framework exposes the underlying transformed index (for instrumentation).

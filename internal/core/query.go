@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
@@ -63,38 +63,99 @@ func (st *QueryStats) add(o QueryStats) {
 // k keywords. The keyword tuple must contain exactly the arity k the index
 // was built with, with no duplicates.
 func (f *Framework) Query(q geom.Region, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
-	if len(ws) != f.k {
-		return QueryStats{}, fmt.Errorf("core: query carries %d keywords but the index was built for k=%d", len(ws), f.k)
-	}
-	if err := dataset.ValidateKeywords(ws); err != nil {
+	if err := f.checkQuery(ws); err != nil {
 		return QueryStats{}, err
 	}
-	qc := &qctx{f: f, q: q, ws: ws, opts: opts, report: report}
+	qc := getQctx()
+	qc.f, qc.q, qc.ws, qc.opts, qc.report = f, q, ws, opts, report
+	f.run(qc)
+	st := qc.st
+	putQctx(qc)
+	return st, nil
+}
+
+// Collect is Query returning a slice of object ids. The slice is freshly
+// allocated and owned by the caller; use CollectInto to amortize it.
+func (f *Framework) Collect(q geom.Region, ws []dataset.Keyword, opts QueryOpts) ([]int32, QueryStats, error) {
+	return f.CollectInto(q, ws, opts, nil)
+}
+
+// CollectInto is Collect appending into buf (reusing its capacity, like
+// append). With a warmed buffer and a pooled context the steady-state query
+// path performs zero heap allocations. The returned slice aliases buf, never
+// pooled scratch, so the caller owns it outright; with a nil buf the ids
+// accumulate in pooled scratch and are copied out in one exact-size
+// allocation.
+func (f *Framework) CollectInto(q geom.Region, ws []dataset.Keyword, opts QueryOpts, buf []int32) ([]int32, QueryStats, error) {
+	if err := f.checkQuery(ws); err != nil {
+		return nil, QueryStats{}, err
+	}
+	qc := getQctx()
+	qc.f, qc.q, qc.ws, qc.opts = f, q, ws, opts
+	qc.collecting = true
+	scratch := buf == nil
+	if scratch {
+		qc.out = qc.res[:0]
+	} else {
+		qc.out = buf[:0]
+	}
+	f.run(qc)
+	out, st := qc.out, qc.st
+	if scratch {
+		qc.res = out[:0] // keep the grown scratch for the next query
+		if len(out) > 0 {
+			out = append([]int32(nil), out...)
+		} else {
+			out = nil
+		}
+	}
+	putQctx(qc) // clears qc.out: the pool never retains the returned slice
+	return out, st, nil
+}
+
+func (f *Framework) checkQuery(ws []dataset.Keyword) error {
+	if len(ws) != f.k {
+		return fmt.Errorf("core: query carries %d keywords but the index was built for k=%d", len(ws), f.k)
+	}
+	return dataset.ValidateKeywords(ws)
+}
+
+func (f *Framework) run(qc *qctx) {
 	if len(f.nodes) > 0 {
-		rel := f.split.Relate(f.nodes[0].cell, q)
+		rel := f.split.Relate(f.nodes[0].cell, qc.q)
 		if rel != geom.Disjoint {
 			qc.visit(0, rel)
 		}
 	}
-	return qc.st, nil
 }
 
-// Collect is Query returning a slice of object ids.
-func (f *Framework) Collect(q geom.Region, ws []dataset.Keyword, opts QueryOpts) ([]int32, QueryStats, error) {
-	var out []int32
-	st, err := f.Query(q, ws, opts, func(id int32) { out = append(out, id) })
-	return out, st, err
-}
-
+// qctx is the per-query traversal state. Contexts are pooled: the sorted
+// scratch buffer survives between queries, so a warmed steady-state query
+// allocates nothing. All reference fields are cleared before the context
+// returns to the pool (putQctx) — pooled memory must never alias anything a
+// caller still holds.
 type qctx struct {
-	f      *Framework
-	q      geom.Region
-	ws     []dataset.Keyword
-	opts   QueryOpts
-	report func(int32)
-	st     QueryStats
-	done   bool
-	sorted []int32 // scratch for tensor index
+	f          *Framework
+	q          geom.Region
+	ws         []dataset.Keyword
+	opts       QueryOpts
+	report     func(int32)
+	collecting bool
+	out        []int32
+	st         QueryStats
+	done       bool
+	sorted     []int32 // scratch for tensor index
+	res        []int32 // scratch accumulator for buf-less CollectInto
+}
+
+var qctxPool = sync.Pool{New: func() any { return new(qctx) }}
+
+func getQctx() *qctx { return qctxPool.Get().(*qctx) }
+
+func putQctx(qc *qctx) {
+	sorted, res := qc.sorted[:0], qc.res[:0]
+	*qc = qctx{sorted: sorted, res: res}
+	qctxPool.Put(qc)
 }
 
 func (qc *qctx) stop() bool {
@@ -115,7 +176,11 @@ func (qc *qctx) stop() bool {
 }
 
 func (qc *qctx) emit(id int32) {
-	qc.report(id)
+	if qc.collecting {
+		qc.out = append(qc.out, id)
+	} else {
+		qc.report(id)
+	}
 	qc.st.Reported++
 }
 
@@ -199,7 +264,8 @@ func (qc *qctx) visit(u int32, rel geom.Relation) {
 	for _, w := range qc.ws {
 		s = append(s, n.large[w])
 	}
-	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	qc.sorted = s
+	sortInt32s(s)
 	lin := tensorIndex(s, int(n.l))
 	for ci, child := range n.children {
 		if !n.tensors[ci].Get(int(lin)) {
@@ -252,7 +318,7 @@ func (f *Framework) CrossingCost(q geom.Region, ws []dataset.Keyword) (float64, 
 		for _, w := range ws {
 			s = append(s, n.large[w])
 		}
-		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		sortInt32s(s)
 		lin := tensorIndex(s, int(n.l))
 		for ci, child := range n.children {
 			if !n.tensors[ci].Get(int(lin)) {

@@ -33,6 +33,11 @@ type RectObject struct {
 
 // BuildRRKW constructs the index for k-keyword queries.
 func BuildRRKW(rects []RectObject, k int) (*RRKW, error) {
+	return BuildRRKWWith(rects, k, BuildOpts{})
+}
+
+// BuildRRKWWith is BuildRRKW with explicit construction options.
+func BuildRRKWWith(rects []RectObject, k int, opts BuildOpts) (*RRKW, error) {
 	if len(rects) == 0 {
 		return nil, fmt.Errorf("core: RR-KW needs at least one rectangle")
 	}
@@ -57,9 +62,9 @@ func BuildRRKW(rects []RectObject, k int) (*RRKW, error) {
 	}
 	ix := &RRKW{d: d, rects: geomRects, ds: ds}
 	if 2*d <= 2 {
-		ix.low, err = BuildORPKW(ds, k)
+		ix.low, err = BuildORPKWWith(ds, k, opts)
 	} else {
-		ix.high, err = BuildORPKWHigh(ds, k)
+		ix.high, err = BuildORPKWHighWith(ds, k, opts)
 	}
 	if err != nil {
 		return nil, err
@@ -92,11 +97,22 @@ func (ix *RRKW) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report
 	return ix.high.Query(cq, ws, opts, report)
 }
 
-// Collect is Query returning a slice.
+// Collect is Query returning a freshly allocated, caller-owned slice.
 func (ix *RRKW) Collect(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts) ([]int32, QueryStats, error) {
-	var out []int32
-	st, err := ix.Query(q, ws, opts, func(id int32) { out = append(out, id) })
-	return out, st, err
+	return ix.CollectInto(q, ws, opts, nil)
+}
+
+// CollectInto is Collect appending into buf, reusing its capacity; the
+// returned slice aliases buf only.
+func (ix *RRKW) CollectInto(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, buf []int32) ([]int32, QueryStats, error) {
+	if q.Dim() != ix.d {
+		return nil, QueryStats{}, fmt.Errorf("core: query rectangle has dimension %d, index has %d", q.Dim(), ix.d)
+	}
+	cq := ix.cornerQuery(q)
+	if ix.low != nil {
+		return ix.low.CollectInto(cq, ws, opts, buf)
+	}
+	return ix.high.CollectInto(cq, ws, opts, buf)
 }
 
 // Rect returns data rectangle i.

@@ -38,6 +38,9 @@ type SPKWConfig struct {
 	// Points overrides the partitioning coordinates (the lifting reduction
 	// of Corollary 6 passes lifted points of dimension d+1).
 	Points []geom.Point
+	// Build tunes construction (parallelism); the zero value uses every
+	// core.
+	Build BuildOpts
 }
 
 // BuildSPKW constructs the index.
@@ -55,9 +58,10 @@ func BuildSPKW(ds *dataset.Dataset, cfg SPKWConfig) (*SPKW, error) {
 		}
 	}
 	fw, err := BuildFramework(ds, FrameworkConfig{
-		K:        cfg.K,
-		Splitter: split,
-		Points:   cfg.Points,
+		K:           cfg.K,
+		Splitter:    split,
+		Points:      cfg.Points,
+		Parallelism: cfg.Build.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -89,11 +93,19 @@ func (ix *SPKW) QueryRegion(q geom.Region, ws []dataset.Keyword, opts QueryOpts,
 	return ix.fw.Query(q, ws, opts, report)
 }
 
-// CollectConstraints is QueryConstraints returning a slice.
+// CollectConstraints is QueryConstraints returning a freshly allocated,
+// caller-owned slice.
 func (ix *SPKW) CollectConstraints(hs []geom.Halfspace, ws []dataset.Keyword, opts QueryOpts) ([]int32, QueryStats, error) {
-	var out []int32
-	st, err := ix.QueryConstraints(hs, ws, opts, func(id int32) { out = append(out, id) })
-	return out, st, err
+	return ix.CollectConstraintsInto(hs, ws, opts, nil)
+}
+
+// CollectConstraintsInto is CollectConstraints appending into buf, reusing
+// its capacity; the returned slice aliases buf only.
+func (ix *SPKW) CollectConstraintsInto(hs []geom.Halfspace, ws []dataset.Keyword, opts QueryOpts, buf []int32) ([]int32, QueryStats, error) {
+	if len(hs) == 0 {
+		return nil, QueryStats{}, fmt.Errorf("core: LC-KW query needs at least one constraint")
+	}
+	return ix.fw.CollectInto(geom.NewPolyhedron(hs...), ws, opts, buf)
 }
 
 // Framework exposes the underlying transformed index.

@@ -19,11 +19,16 @@ type SRPKW struct {
 
 // BuildSRPKW constructs the lifted index for k-keyword queries.
 func BuildSRPKW(ds *dataset.Dataset, k int) (*SRPKW, error) {
+	return BuildSRPKWWith(ds, k, BuildOpts{})
+}
+
+// BuildSRPKWWith is BuildSRPKW with explicit construction options.
+func BuildSRPKWWith(ds *dataset.Dataset, k int, opts BuildOpts) (*SRPKW, error) {
 	lifted := make([]geom.Point, ds.Len())
 	for i := range lifted {
 		lifted[i] = geom.Lift(ds.Point(int32(i)))
 	}
-	sp, err := BuildSPKW(ds, SPKWConfig{K: k, Points: lifted})
+	sp, err := BuildSPKW(ds, SPKWConfig{K: k, Points: lifted, Build: opts})
 	if err != nil {
 		return nil, err
 	}
@@ -48,11 +53,19 @@ func (ix *SRPKW) QuerySq(center geom.Point, radiusSq float64, ws []dataset.Keywo
 	return ix.sp.QueryConstraints([]geom.Halfspace{hs}, ws, opts, report)
 }
 
-// Collect is Query returning a slice.
+// Collect is Query returning a freshly allocated, caller-owned slice.
 func (ix *SRPKW) Collect(s *geom.Sphere, ws []dataset.Keyword, opts QueryOpts) ([]int32, QueryStats, error) {
-	var out []int32
-	st, err := ix.Query(s, ws, opts, func(id int32) { out = append(out, id) })
-	return out, st, err
+	return ix.CollectInto(s, ws, opts, nil)
+}
+
+// CollectInto is Collect appending into buf, reusing its capacity; the
+// returned slice aliases buf only.
+func (ix *SRPKW) CollectInto(s *geom.Sphere, ws []dataset.Keyword, opts QueryOpts, buf []int32) ([]int32, QueryStats, error) {
+	if s.Dim() != ix.dim {
+		return nil, QueryStats{}, fmt.Errorf("core: sphere of dimension %d against index of dimension %d", s.Dim(), ix.dim)
+	}
+	hs := geom.LiftSphere(s)
+	return ix.sp.CollectConstraintsInto([]geom.Halfspace{hs}, ws, opts, buf)
 }
 
 // Space returns the analytic space audit.

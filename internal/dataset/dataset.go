@@ -132,17 +132,19 @@ func (ds *Dataset) DocSpaceWords() int64 {
 }
 
 // ValidateKeywords checks a query keyword tuple: it must have at least two
-// distinct keywords (the paper fixes k >= 2) and no duplicates.
+// distinct keywords (the paper fixes k >= 2) and no duplicates. The check is
+// quadratic but allocation-free — k is a small constant on the query hot
+// path.
 func ValidateKeywords(ws []Keyword) error {
 	if len(ws) < 2 {
 		return fmt.Errorf("dataset: query needs k >= 2 keywords, got %d", len(ws))
 	}
-	seen := make(map[Keyword]struct{}, len(ws))
-	for _, w := range ws {
-		if _, dup := seen[w]; dup {
-			return fmt.Errorf("dataset: duplicate query keyword %d", w)
+	for i := 1; i < len(ws); i++ {
+		for j := 0; j < i; j++ {
+			if ws[i] == ws[j] {
+				return fmt.Errorf("dataset: duplicate query keyword %d", ws[i])
+			}
 		}
-		seen[w] = struct{}{}
 	}
 	return nil
 }

@@ -70,8 +70,18 @@ func (rs *RankSpace) RankPoint(i int32) geom.Point {
 // is empty). Correctness relies on ties being broken consistently: all
 // objects whose coordinate lies in [lo, hi] occupy a contiguous rank range.
 func (rs *RankSpace) ToRankRect(q *geom.Rect) (_ *geom.Rect, ok bool) {
-	lo := make([]float64, rs.dim)
-	hi := make([]float64, rs.dim)
+	dst := &geom.Rect{Lo: make([]float64, rs.dim), Hi: make([]float64, rs.dim)}
+	if !rs.ToRankRectInto(q, dst) {
+		return nil, false
+	}
+	return dst, true
+}
+
+// ToRankRectInto is ToRankRect writing into a caller-supplied rectangle
+// whose Lo/Hi already have length Dim(); it performs no allocations, which
+// is what lets pooled query contexts reuse one rank rectangle per query.
+// ok=false leaves dst in an unspecified state.
+func (rs *RankSpace) ToRankRectInto(q *geom.Rect, dst *geom.Rect) (ok bool) {
 	for j := 0; j < rs.dim; j++ {
 		s := rs.sorted[j]
 		var lr, hr int
@@ -86,11 +96,11 @@ func (rs *RankSpace) ToRankRect(q *geom.Rect) (_ *geom.Rect, ok bool) {
 			hr = sort.Search(len(s), func(r int) bool { return s[r] > q.Hi[j] }) - 1
 		}
 		if lr > hr {
-			return nil, false
+			return false
 		}
-		lo[j], hi[j] = float64(lr), float64(hr)
+		dst.Lo[j], dst.Hi[j] = float64(lr), float64(hr)
 	}
-	return &geom.Rect{Lo: lo, Hi: hi}, true
+	return true
 }
 
 // SpaceWords returns the footprint of the conversion tables in words.

@@ -143,19 +143,40 @@ func NewSimplex(v ...Point) *Simplex { return geom.NewSimplex(v...) }
 // NewPolyhedron returns the intersection of the given halfspaces.
 func NewPolyhedron(hs ...Halfspace) *Polyhedron { return geom.NewPolyhedron(hs...) }
 
+// BuildOpts tunes index construction. The zero value builds subtrees in
+// parallel across every core; Parallelism: 1 forces a sequential build.
+// Parallel and sequential builds produce indexes that answer every query
+// identically.
+type BuildOpts = core.BuildOpts
+
 // NewORPKW builds the Theorem 1 index: O(N) space and
 // O(N^{1-1/k} (1 + OUT^{1/k})) query time for d <= 2 (any d is accepted;
 // for d >= 3 prefer NewORPKWHigh, whose query bound is dimension-free).
 func NewORPKW(ds *Dataset, k int) (*ORPKW, error) { return core.BuildORPKW(ds, k) }
 
+// NewORPKWWith is NewORPKW with explicit construction options.
+func NewORPKWWith(ds *Dataset, k int, opts BuildOpts) (*ORPKW, error) {
+	return core.BuildORPKWWith(ds, k, opts)
+}
+
 // NewORPKWHigh builds the Theorem 2 index for d >= 3:
 // O(N (log log N)^{d-2}) space, O(N^{1-1/k} (1 + OUT^{1/k})) query time.
 func NewORPKWHigh(ds *Dataset, k int) (*ORPKWHigh, error) { return core.BuildORPKWHigh(ds, k) }
+
+// NewORPKWHighWith is NewORPKWHigh with explicit construction options.
+func NewORPKWHighWith(ds *Dataset, k int, opts BuildOpts) (*ORPKWHigh, error) {
+	return core.BuildORPKWHighWith(ds, k, opts)
+}
 
 // NewRRKW builds the Corollary 3 index over d-rectangles; queries report
 // the data rectangles intersecting a query rectangle that carry all k
 // keywords.
 func NewRRKW(rects []RectObject, k int) (*RRKW, error) { return core.BuildRRKW(rects, k) }
+
+// NewRRKWWith is NewRRKW with explicit construction options.
+func NewRRKWWith(rects []RectObject, k int, opts BuildOpts) (*RRKW, error) {
+	return core.BuildRRKWWith(rects, k, opts)
+}
 
 // NewLCKW builds the Theorem 5 / Theorem 12 index: linear-conjunction and
 // simplex reporting with keywords. The zero config selects the default
@@ -166,13 +187,28 @@ func NewLCKW(ds *Dataset, cfg LCKWConfig) (*LCKW, error) { return core.BuildSPKW
 // keywords via the lifting transformation.
 func NewSRPKW(ds *Dataset, k int) (*SRPKW, error) { return core.BuildSRPKW(ds, k) }
 
+// NewSRPKWWith is NewSRPKW with explicit construction options.
+func NewSRPKWWith(ds *Dataset, k int, opts BuildOpts) (*SRPKW, error) {
+	return core.BuildSRPKWWith(ds, k, opts)
+}
+
 // NewLinfNN builds the Corollary 4 index: t nearest neighbors under L∞
 // among the objects carrying all k keywords.
 func NewLinfNN(ds *Dataset, k int) (*LinfNN, error) { return core.BuildLinfNN(ds, k) }
 
+// NewLinfNNWith is NewLinfNN with explicit construction options.
+func NewLinfNNWith(ds *Dataset, k int, opts BuildOpts) (*LinfNN, error) {
+	return core.BuildLinfNNWith(ds, k, opts)
+}
+
 // NewL2NN builds the Corollary 7 index: t nearest neighbors under L2 among
 // the objects carrying all k keywords; coordinates must be integers.
 func NewL2NN(ds *Dataset, k int) (*L2NN, error) { return core.BuildL2NN(ds, k) }
+
+// NewL2NNWith is NewL2NN with explicit construction options.
+func NewL2NNWith(ds *Dataset, k int, opts BuildOpts) (*L2NN, error) {
+	return core.BuildL2NNWith(ds, k, opts)
+}
 
 // NewKSI builds the Section 1.2 index over explicit sets: reporting and
 // emptiness queries on the intersection of any k of them.
