@@ -2,9 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-save repro repro-quick examples clean
+.PHONY: all build test race cover bench bench-save bench-compare check repro repro-quick examples clean
 
 all: build test
+
+# The full pre-merge gate: vet, the complete test suite, and the race
+# detector over the concurrent paths (parallel builds, QueryBatch workers,
+# shared-index readers) including the failpoint/resilience tests.
+check:
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/core/ ./internal/spart/
 
 build:
 	$(GO) build ./...
@@ -30,6 +38,14 @@ bench:
 bench-save:
 	$(GO) test -run '^$$' -bench '^(BenchmarkE1ORPKW2D|BenchmarkE2ORPKW3D|BenchmarkORPKW2DCollect|BenchmarkORPKW2DCollectInto|BenchmarkBuildORPKW|BenchmarkBuildLCKW)' \
 		-benchmem -benchtime=20x . | $(GO) run ./cmd/benchsave -out BENCH_$(shell date +%Y-%m-%d).json
+
+# Compare a fresh run of the tier-1 bench families against the committed
+# baseline; fails on >1.5x ns/op drift or ANY allocs/op increase (the
+# zero-alloc query paths are a hard property, not a number to drift).
+BENCH_BASELINE ?= BENCH_2026-08-06.json
+bench-compare:
+	$(GO) test -run '^$$' -bench '^(BenchmarkE1ORPKW2D|BenchmarkE2ORPKW3D|BenchmarkORPKW2DCollect|BenchmarkORPKW2DCollectInto|BenchmarkBuildORPKW|BenchmarkBuildLCKW)' \
+		-benchmem -benchtime=20x . | $(GO) run ./cmd/benchsave -compare $(BENCH_BASELINE)
 
 # Regenerate every experiment of EXPERIMENTS.md (full sweeps; minutes).
 repro:

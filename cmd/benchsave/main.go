@@ -1,6 +1,8 @@
 // Command benchsave converts `go test -bench -benchmem` output on stdin into
 // a JSON snapshot, one record per benchmark, so perf baselines can be
-// committed and diffed across changes (see `make bench-save`).
+// committed and diffed across changes (see `make bench-save`). With -compare
+// it instead checks fresh results against a committed baseline and exits
+// non-zero on regression (see `make bench-compare`).
 package main
 
 import (
@@ -24,6 +26,8 @@ type Record struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON to compare stdin results against (exits 1 on regression)")
+	tolerance := flag.Float64("tolerance", 1.5, "with -compare: max allowed ns/op ratio vs baseline")
 	flag.Parse()
 
 	var recs []Record
@@ -47,6 +51,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *compare != "" {
+		os.Exit(compareBaseline(recs, *compare, *tolerance))
+	}
+
 	data, err := json.MarshalIndent(recs, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchsave: %v\n", err)
@@ -62,6 +70,72 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchsave: wrote %d records to %s\n", len(recs), *out)
+}
+
+// compareBaseline checks fresh records against the committed baseline:
+// ns/op may drift up to the tolerance ratio (wall-clock noise is real), but
+// allocs/op is exact — the zero-allocation query paths are a structural
+// property and any new allocation is a regression, not noise. Benchmarks
+// present on only one side are reported but not fatal (families evolve).
+func compareBaseline(recs []Record, path string, tolerance float64) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsave: reading baseline: %v\n", err)
+		return 1
+	}
+	var base []Record
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsave: parsing baseline %s: %v\n", path, err)
+		return 1
+	}
+	byName := make(map[string]Record, len(base))
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	failures := 0
+	matched := 0
+	for _, r := range recs {
+		b, ok := byName[r.Name]
+		if !ok {
+			fmt.Printf("  new   %-50s %12.0f ns/op (no baseline)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		matched++
+		delete(byName, r.Name)
+		status := "ok"
+		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*tolerance {
+			status = "SLOWER"
+			failures++
+		}
+		if r.AllocsPerOp > b.AllocsPerOp {
+			status = "ALLOCS"
+			failures++
+		}
+		fmt.Printf("  %-6s%-50s %12.0f ns/op (base %.0f, %.2fx)  %d allocs (base %d)\n",
+			status, r.Name, r.NsPerOp, b.NsPerOp, ratio(r.NsPerOp, b.NsPerOp),
+			r.AllocsPerOp, b.AllocsPerOp)
+	}
+	for name := range byName {
+		fmt.Printf("  gone  %s (in baseline, not measured)\n", name)
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchsave: no benchmark matched the baseline")
+		return 1
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchsave: %d regression(s) vs %s (tolerance %.2fx)\n",
+			failures, path, tolerance)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchsave: %d benchmarks within %.2fx of %s\n", matched, tolerance, path)
+	return 0
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
 }
 
 // parseLine decodes one result line, e.g.

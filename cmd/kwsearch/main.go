@@ -13,11 +13,17 @@
 //	ball x y r w1 w2             SRP-KW: radius + 2 keywords
 //	line a b c w1 w2             LC-KW: a*x + b*y <= c + 2 keywords
 //	isect w1 w2                  k-SI: pure keyword intersection
+//	budget nodes                 bound every query to a node-visit budget
 //	stats                        dataset and index statistics
+//
+// Malformed commands — wrong argument counts, unparsable numbers, inverted
+// or NaN bounds — print an error and re-prompt; the session never exits on
+// bad input.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +39,17 @@ var (
 	flagSeed = flag.Int64("seed", 1, "generator seed")
 )
 
+// session holds the indexes plus the interactive execution policy.
+type session struct {
+	ds  *kwsc.Dataset
+	orp *kwsc.ORPKW
+	nn  *kwsc.LinfNN
+	srp *kwsc.SRPKW
+	lc  *kwsc.LCKW
+	ksi *kwsc.KSI
+	pol kwsc.ExecPolicy
+}
+
 func main() {
 	flag.Parse()
 	fmt.Printf("generating %d objects...\n", *flagN)
@@ -40,15 +57,17 @@ func main() {
 		Seed: *flagSeed, Objects: *flagN, Dim: 2, Vocab: 64, DocLen: 5,
 	})
 	fmt.Printf("building indexes (N=%d, W=%d)...\n", ds.N(), ds.W())
-	orp, err := kwsc.NewORPKW(ds, 2)
+	s := &session{ds: ds}
+	var err error
+	s.orp, err = kwsc.NewORPKW(ds, 2)
 	fatal(err)
-	nn, err := kwsc.NewLinfNN(ds, 2)
+	s.nn, err = kwsc.NewLinfNN(ds, 2)
 	fatal(err)
-	srp, err := kwsc.NewSRPKW(ds, 2)
+	s.srp, err = kwsc.NewSRPKW(ds, 2)
 	fatal(err)
-	lc, err := kwsc.NewLCKW(ds, kwsc.LCKWConfig{K: 2})
+	s.lc, err = kwsc.NewLCKW(ds, kwsc.LCKWConfig{K: 2})
 	fatal(err)
-	ksi, err := kwsc.NewKSIFromDataset(ds, 2)
+	s.ksi, err = kwsc.NewKSIFromDataset(ds, 2)
 	fatal(err)
 	fmt.Println("ready; type 'help' for commands, coordinates are in [0,1)")
 
@@ -58,94 +77,136 @@ func main() {
 		if len(fields) == 0 {
 			continue
 		}
-		switch fields[0] {
-		case "help":
-			fmt.Println("range x1 x2 y1 y2 w1 w2 | near x y t w1 w2 | ball x y r w1 w2")
-			fmt.Println("line a b c w1 w2 | isect w1 w2 | stats | quit")
-		case "quit", "exit":
+		if fields[0] == "quit" || fields[0] == "exit" {
 			return
-		case "stats":
-			sp := orp.Space()
-			fmt.Printf("objects=%d N=%d W=%d dim=%d\n", ds.Len(), ds.N(), ds.W(), ds.Dim())
-			fmt.Printf("ORP-KW: %d nodes, %d words, height %d\n",
-				orp.Framework().NumNodes(), sp.TotalWords(64), orp.Framework().Height())
-		case "range":
-			args, ok := floats(fields[1:], 6)
-			if !ok {
-				continue
-			}
-			q := kwsc.NewRect([]float64{args[0], args[2]}, []float64{args[1], args[3]})
-			ids, st, err := orp.Collect(q, kws(args[4], args[5]), kwsc.QueryOpts{})
-			report(ids, st.Ops, err)
-		case "near":
-			args, ok := floats(fields[1:], 5)
-			if !ok {
-				continue
-			}
-			res, ns, err := nn.Query(kwsc.Point{args[0], args[1]}, int(args[2]), kws(args[3], args[4]))
-			if err != nil {
-				fmt.Println("error:", err)
-				continue
-			}
-			for _, r := range res {
-				p := ds.Point(r.ID)
-				fmt.Printf("  #%d at (%.3f, %.3f) dist %.4f\n", r.ID, p[0], p[1], r.Dist)
-			}
-			fmt.Printf("  (%d probes)\n", ns.Probes)
-		case "ball":
-			args, ok := floats(fields[1:], 5)
-			if !ok {
-				continue
-			}
-			s := kwsc.NewSphere(kwsc.Point{args[0], args[1]}, args[2])
-			ids, st, err := srp.Collect(s, kws(args[3], args[4]), kwsc.QueryOpts{})
-			report(ids, st.Ops, err)
-		case "line":
-			args, ok := floats(fields[1:], 5)
-			if !ok {
-				continue
-			}
-			hs := []kwsc.Halfspace{{Coef: []float64{args[0], args[1]}, Bound: args[2]}}
-			var ids []int32
-			st, err := lc.QueryConstraints(hs, kws(args[3], args[4]), kwsc.QueryOpts{},
-				func(id int32) { ids = append(ids, id) })
-			report(ids, st.Ops, err)
-		case "isect":
-			args, ok := floats(fields[1:], 2)
-			if !ok {
-				continue
-			}
-			ids, st, err := ksi.Report(kws(args[0], args[1]), kwsc.QueryOpts{})
-			report(ids, st.Ops, err)
-		default:
-			fmt.Println("unknown command; type 'help'")
+		}
+		if err := s.dispatch(fields); err != nil {
+			fmt.Println("error:", err)
 		}
 	}
+}
+
+// dispatch runs one command, converting every failure — including a panic
+// escaping an index — into an error for the prompt loop to print.
+func (s *session) dispatch(fields []string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal failure: %v", r)
+		}
+	}()
+	opts := kwsc.QueryOpts{Policy: s.pol}
+	switch fields[0] {
+	case "help":
+		fmt.Println("range x1 x2 y1 y2 w1 w2 | near x y t w1 w2 | ball x y r w1 w2")
+		fmt.Println("line a b c w1 w2 | isect w1 w2 | budget nodes | stats | quit")
+	case "stats":
+		sp := s.orp.Space()
+		fmt.Printf("objects=%d N=%d W=%d dim=%d\n", s.ds.Len(), s.ds.N(), s.ds.W(), s.ds.Dim())
+		fmt.Printf("ORP-KW: %d nodes, %d words, height %d\n",
+			s.orp.Framework().NumNodes(), sp.TotalWords(64), s.orp.Framework().Height())
+		if s.pol.NodeBudget > 0 {
+			fmt.Printf("session node budget: %d\n", s.pol.NodeBudget)
+		}
+	case "budget":
+		args, err := floats(fields[1:], 1)
+		if err != nil {
+			return err
+		}
+		if args[0] < 0 {
+			return fmt.Errorf("budget must be >= 0 (0 removes the bound), got %v", args[0])
+		}
+		s.pol.NodeBudget = int64(args[0])
+		if s.pol.NodeBudget == 0 {
+			fmt.Println("node budget removed")
+		} else {
+			fmt.Printf("queries now stop after %d node visits (partial results are reported)\n",
+				s.pol.NodeBudget)
+		}
+	case "range":
+		args, err := floats(fields[1:], 6)
+		if err != nil {
+			return err
+		}
+		// A struct literal, not kwsc.NewRect: the facade validation turns
+		// inverted or NaN bounds into a printable error instead of a panic.
+		q := &kwsc.Rect{Lo: []float64{args[0], args[2]}, Hi: []float64{args[1], args[3]}}
+		ids, st, err := s.orp.Collect(q, kws(args[4], args[5]), opts)
+		report(ids, st.Ops, err)
+	case "near":
+		args, err := floats(fields[1:], 5)
+		if err != nil {
+			return err
+		}
+		res, ns, err := s.nn.QueryWith(kwsc.Point{args[0], args[1]}, int(args[2]), kws(args[3], args[4]), s.pol)
+		if err != nil && len(res) == 0 {
+			return err
+		}
+		if err != nil {
+			fmt.Printf("  (partial: %v)\n", err)
+		}
+		for _, r := range res {
+			p := s.ds.Point(r.ID)
+			fmt.Printf("  #%d at (%.3f, %.3f) dist %.4f\n", r.ID, p[0], p[1], r.Dist)
+		}
+		fmt.Printf("  (%d probes)\n", ns.Probes)
+	case "ball":
+		args, err := floats(fields[1:], 5)
+		if err != nil {
+			return err
+		}
+		sp := &kwsc.Sphere{Center: kwsc.Point{args[0], args[1]}, Radius: args[2]}
+		ids, st, err := s.srp.Collect(sp, kws(args[3], args[4]), opts)
+		report(ids, st.Ops, err)
+	case "line":
+		args, err := floats(fields[1:], 5)
+		if err != nil {
+			return err
+		}
+		hs := []kwsc.Halfspace{{Coef: []float64{args[0], args[1]}, Bound: args[2]}}
+		var ids []int32
+		st, err := s.lc.QueryConstraints(hs, kws(args[3], args[4]), opts,
+			func(id int32) { ids = append(ids, id) })
+		report(ids, st.Ops, err)
+	case "isect":
+		args, err := floats(fields[1:], 2)
+		if err != nil {
+			return err
+		}
+		ids, st, err := s.ksi.Report(kws(args[0], args[1]), opts)
+		report(ids, st.Ops, err)
+	default:
+		return fmt.Errorf("unknown command %q; type 'help'", fields[0])
+	}
+	return nil
 }
 
 func kws(a, b float64) []kwsc.Keyword {
 	return []kwsc.Keyword{kwsc.Keyword(a), kwsc.Keyword(b)}
 }
 
-func floats(fields []string, want int) ([]float64, bool) {
+func floats(fields []string, want int) ([]float64, error) {
 	if len(fields) != want {
-		fmt.Printf("expected %d arguments, got %d\n", want, len(fields))
-		return nil, false
+		return nil, fmt.Errorf("expected %d arguments, got %d", want, len(fields))
 	}
 	out := make([]float64, want)
 	for i, f := range fields {
 		v, err := strconv.ParseFloat(f, 64)
 		if err != nil {
-			fmt.Println("bad number:", f)
-			return nil, false
+			return nil, fmt.Errorf("bad number %q", f)
 		}
 		out[i] = v
 	}
-	return out, true
+	return out, nil
 }
 
+// report prints results, marking policy-truncated answers as partial rather
+// than treating the typed stop as a hard failure.
 func report(ids []int32, ops int64, err error) {
-	if err != nil {
+	switch {
+	case errors.Is(err, kwsc.ErrBudget) || errors.Is(err, kwsc.ErrDeadline):
+		fmt.Printf("  %d partial results (%d work units; stopped: %v)\n", len(ids), ops, err)
+		return
+	case err != nil:
 		fmt.Println("error:", err)
 		return
 	}
@@ -163,6 +224,8 @@ func report(ids []int32, ops int64, err error) {
 	fmt.Println()
 }
 
+// fatal aborts on startup (build) failures only; the interactive loop never
+// calls it.
 func fatal(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kwsearch:", err)

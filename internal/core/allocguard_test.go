@@ -1,0 +1,77 @@
+//go:build !race
+
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+	"kwsc/internal/workload"
+)
+
+// The resilience layer must be free on queries that don't use it: with no
+// policy set, the pooled-context CollectInto path stays at zero allocations
+// per query, the property the seed benchmarks established. Run under the race
+// detector AllocsPerRun is unreliable, hence the build tag.
+func TestCollectIntoZeroAllocsWithoutPolicy(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 30, Objects: 1 << 12, Dim: 2, Vocab: 64, DocLen: 5})
+	ix, err := BuildORPKW(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := workload.RandRect(rand.New(rand.NewSource(30)), 2, 0.4)
+	ws := []dataset.Keyword{1, 2}
+	buf := make([]int32, 0, 4096)
+	// Warm the context pool and grow buf to its steady-state capacity.
+	for i := 0; i < 4; i++ {
+		ids, _, err := ix.CollectInto(q, ws, QueryOpts{}, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = ids[:0]
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		ids, _, err := ix.CollectInto(q, ws, QueryOpts{}, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = ids[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("CollectInto without policy allocates %v per op, want 0", allocs)
+	}
+}
+
+// A node-budget policy must also stay allocation-free: polState lives inside
+// the pooled context and ExecPolicy is carried by value.
+func TestCollectIntoZeroAllocsWithBudgetPolicy(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 31, Objects: 1 << 12, Dim: 2, Vocab: 64, DocLen: 5})
+	ix, err := BuildORPKW(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.UniverseRect(2)
+	ws := []dataset.Keyword{1, 2}
+	pol := ExecPolicy{NodeBudget: 1 << 30, Deadline: time.Now().Add(time.Hour)}
+	buf := make([]int32, 0, 4096)
+	for i := 0; i < 4; i++ {
+		ids, _, err := ix.CollectInto(q, ws, QueryOpts{Policy: pol}, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = ids[:0]
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		ids, _, err := ix.CollectInto(q, ws, QueryOpts{Policy: pol}, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = ids[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("CollectInto with budget policy allocates %v per op, want 0", allocs)
+	}
+}

@@ -61,6 +61,20 @@ func (ix *ORPKWHigh) QueryBatchInto(queries []RectQuery, parallelism int, prev [
 // the tail balanced when per-query costs are skewed.
 const batchBlock = 16
 
+// safeOne runs one batch query with panic isolation: a query that panics
+// past the per-index recovery (or inside result handling) yields a
+// BatchResult with the converted error instead of taking down the worker
+// goroutine — and with it the process.
+func safeOne(one func(RectQuery, []int32) BatchResult, q RectQuery, buf []int32) (br BatchResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			br = BatchResult{Err: newPanicError("QueryBatch", r, echoRegion(q.Rect, q.Keywords))}
+		}
+	}()
+	failpoint(FPBatchQuery)
+	return one(q, buf)
+}
+
 func runBatch(queries []RectQuery, parallelism int, prev []BatchResult, one func(RectQuery, []int32) BatchResult) []BatchResult {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -77,7 +91,7 @@ func runBatch(queries []RectQuery, parallelism int, prev []BatchResult, one func
 	}
 	if parallelism <= 1 {
 		for i, q := range queries {
-			results[i] = one(q, reuse(i))
+			results[i] = safeOne(one, q, reuse(i))
 		}
 		return results
 	}
@@ -102,7 +116,7 @@ func runBatch(queries []RectQuery, parallelism int, prev []BatchResult, one func
 					hi = len(queries)
 				}
 				for i := lo; i < hi; i++ {
-					results[i] = one(queries[i], reuse(i))
+					results[i] = safeOne(one, queries[i], reuse(i))
 				}
 			}
 		}()

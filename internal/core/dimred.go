@@ -290,27 +290,38 @@ func fanoutAt(k, level int, cap int64) int64 {
 
 // Query reports every object in q (original coordinates) whose document
 // contains all k keywords.
-func (ix *ORPKWHigh) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
-	if err := dataset.ValidateKeywords(ws); err != nil {
+func (ix *ORPKWHigh) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (st QueryStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError("ORPKWHigh.Query", r, echoRegion(q, ws))
+		}
+	}()
+	if err := ix.checkQuery(q, ws); err != nil {
 		return QueryStats{}, err
-	}
-	if len(ws) != ix.k {
-		return QueryStats{}, fmt.Errorf("core: query carries %d keywords but the index was built for k=%d", len(ws), ix.k)
-	}
-	if q.Dim() != ix.dim {
-		return QueryStats{}, fmt.Errorf("core: query rectangle has dimension %d, index has %d", q.Dim(), ix.dim)
 	}
 	rq := ix.getRankRect()
 	defer ix.rqPool.Put(rq)
 	if !ix.rs.ToRankRectInto(q, rq) {
 		return QueryStats{}, nil
 	}
+	opts = opts.normalized()
 	qc := getDrQctx()
 	qc.ix, qc.rq, qc.ws, qc.opts, qc.report = ix, rq, ws, opts, report
+	qc.pst = newPolState(opts.Policy)
 	ix.root.visit(0, qc)
-	st := qc.st
+	st, err = qc.st, qc.stopErr
 	putDrQctx(qc)
-	return st, nil
+	return st, err
+}
+
+func (ix *ORPKWHigh) checkQuery(q *geom.Rect, ws []dataset.Keyword) error {
+	if err := dataset.ValidateKeywords(ws); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidQuery, err)
+	}
+	if len(ws) != ix.k {
+		return fmt.Errorf("%w: query carries %d keywords but the index was built for k=%d", ErrInvalidQuery, len(ws), ix.k)
+	}
+	return validateRect(q, ix.dim)
 }
 
 // Collect is Query returning a freshly allocated, caller-owned slice.
@@ -320,23 +331,24 @@ func (ix *ORPKWHigh) Collect(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts)
 
 // CollectInto is Collect appending into buf, reusing its capacity. The
 // returned slice aliases buf only — never pooled scratch.
-func (ix *ORPKWHigh) CollectInto(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, buf []int32) ([]int32, QueryStats, error) {
-	if err := dataset.ValidateKeywords(ws); err != nil {
+func (ix *ORPKWHigh) CollectInto(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, buf []int32) (out []int32, st QueryStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, newPanicError("ORPKWHigh.CollectInto", r, echoRegion(q, ws))
+		}
+	}()
+	if err := ix.checkQuery(q, ws); err != nil {
 		return nil, QueryStats{}, err
-	}
-	if len(ws) != ix.k {
-		return nil, QueryStats{}, fmt.Errorf("core: query carries %d keywords but the index was built for k=%d", len(ws), ix.k)
-	}
-	if q.Dim() != ix.dim {
-		return nil, QueryStats{}, fmt.Errorf("core: query rectangle has dimension %d, index has %d", q.Dim(), ix.dim)
 	}
 	rq := ix.getRankRect()
 	defer ix.rqPool.Put(rq)
 	if !ix.rs.ToRankRectInto(q, rq) {
 		return buf[:0], QueryStats{}, nil
 	}
+	opts = opts.normalized()
 	qc := getDrQctx()
 	qc.ix, qc.rq, qc.ws, qc.opts = ix, rq, ws, opts
+	qc.pst = newPolState(opts.Policy)
 	qc.collecting = true
 	scratch := buf == nil
 	if scratch {
@@ -345,7 +357,7 @@ func (ix *ORPKWHigh) CollectInto(q *geom.Rect, ws []dataset.Keyword, opts QueryO
 		qc.out = buf[:0]
 	}
 	ix.root.visit(0, qc)
-	out, st := qc.out, qc.st
+	out, st, err = qc.out, qc.st, qc.stopErr
 	if scratch {
 		qc.res = out[:0] // keep the grown scratch for the next query
 		if len(out) > 0 {
@@ -355,7 +367,7 @@ func (ix *ORPKWHigh) CollectInto(q *geom.Rect, ws []dataset.Keyword, opts QueryO
 		}
 	}
 	putDrQctx(qc) // clears qc.out: the pool never retains the returned slice
-	return out, st, nil
+	return out, st, err
 }
 
 func (ix *ORPKWHigh) getRankRect() *geom.Rect {
@@ -379,6 +391,8 @@ type drQctx struct {
 	res        []int32 // scratch accumulator for buf-less CollectInto
 	st         QueryStats
 	done       bool
+	pst        polState // ExecPolicy progress (zero when no policy is set)
+	stopErr    error    // typed policy error that ended the traversal
 
 	secRect geom.Rect   // scratch rectangle for type-1 secondary queries
 	emitFn  func(int32) // persistent closure handed to secondary queries
@@ -397,6 +411,7 @@ func putDrQctx(qc *drQctx) {
 	qc.res = qc.res[:0]
 	qc.opts, qc.st = QueryOpts{}, QueryStats{}
 	qc.collecting, qc.done = false, false
+	qc.pst, qc.stopErr = polState{}, nil
 	drQctxPool.Put(qc)
 }
 
@@ -424,6 +439,13 @@ func (qc *drQctx) stop() bool {
 		qc.st.BudgetHit = true
 		qc.done = true
 		return true
+	}
+	if qc.pst.active {
+		if err := qc.pst.check(&qc.st, int64(qc.st.NodesVisited)); err != nil {
+			qc.stopErr = err
+			qc.done = true
+			return true
+		}
 	}
 	return false
 }
@@ -458,6 +480,7 @@ func (t *drTree) visit(u int32, qc *drQctx) {
 	if n.sigmaHi < lo || n.sigmaLo > hi {
 		return // sigma(u) disjoint from q's range on this dimension
 	}
+	failpoint(FPDimredVisit)
 	qc.st.NodesVisited++
 	qc.st.Ops++
 	if len(n.children) == 0 && n.secKD == nil && n.secDR == nil {
@@ -502,8 +525,13 @@ func (t *drTree) querySecondary(n *drNode, qc *drQctx) {
 		sub.Hi[0], sub.Hi[1] = qc.rq.Hi[qc.ix.dim-2], qc.rq.Hi[qc.ix.dim-1]
 		opts := qc.remainingOpts()
 		st, err := n.secKD.Query(sub, qc.ws, opts, qc.emitFn)
-		if err == nil {
-			qc.st.add(st)
+		qc.st.add(st)
+		if err != nil {
+			// A policy stop (or converted panic) inside the secondary ends
+			// the whole query; the merged stats carry the cause flags.
+			qc.stopErr = err
+			qc.done = true
+			return
 		}
 		if st.Truncated || st.BudgetHit {
 			qc.done = true
@@ -513,7 +541,9 @@ func (t *drTree) querySecondary(n *drNode, qc *drQctx) {
 	}
 }
 
-// remainingOpts shrinks the caller's limit/budget by what has been consumed.
+// remainingOpts shrinks the caller's limit/budget — and the policy's node
+// budget — by what has been consumed. The policy deadline and cancellation
+// channel are absolute and pass through unchanged.
 func (qc *drQctx) remainingOpts() QueryOpts {
 	o := qc.opts
 	if o.Limit > 0 {
@@ -528,6 +558,7 @@ func (qc *drQctx) remainingOpts() QueryOpts {
 			o.Budget = 1
 		}
 	}
+	o.Policy = o.Policy.shrunk(int64(qc.st.NodesVisited))
 	return o
 }
 

@@ -228,18 +228,44 @@ func (d *DynamicORPKW) rebuildAll() error {
 // Query reports (handle, object) for every live object in q whose document
 // contains all k keywords.
 func (d *DynamicORPKW) Query(q *geom.Rect, ws []dataset.Keyword, report func(handle int64, obj *dataset.Object)) (QueryStats, error) {
+	return d.QueryWith(q, ws, QueryOpts{}, report)
+}
+
+// QueryWith is Query under explicit options. The policy's deadline, node
+// budget and cancellation channel span the write-buffer scan and every
+// Bentley–Saxe bucket (buffer entries charge the node budget per scanned
+// entry); a violation returns the partial results reported so far with a
+// typed error. Limit suppresses reports past the cap and skips the remaining
+// buckets, though the bucket being scanned runs to completion.
+func (d *DynamicORPKW) QueryWith(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(handle int64, obj *dataset.Object)) (st QueryStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError("DynamicORPKW.Query", r, echoRegion(q, ws))
+		}
+	}()
 	if len(ws) != d.k {
-		return QueryStats{}, fmt.Errorf("core: query carries %d keywords but the index was built for k=%d", len(ws), d.k)
+		return QueryStats{}, fmt.Errorf("%w: query carries %d keywords but the index was built for k=%d", ErrInvalidQuery, len(ws), d.k)
 	}
 	if err := dataset.ValidateKeywords(ws); err != nil {
+		return QueryStats{}, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
+	}
+	if err := validateRect(q, d.dim); err != nil {
 		return QueryStats{}, err
 	}
-	var st QueryStats
+	opts = opts.normalized()
+	ps := newPolState(opts.Policy)
 	// Buffer: linear scan (bounded by bufferCap).
 	for i := range d.buffer {
 		e := &d.buffer[i]
 		st.Ops++
+		if err := ps.check(&st, st.Ops); err != nil {
+			return st, err
+		}
 		if q.ContainsPoint(e.obj.Point) && docHasAll(e.obj.Doc, ws) {
+			if opts.Limit > 0 && st.Reported >= opts.Limit {
+				st.Truncated = true
+				return st, nil
+			}
 			report(e.handle, &e.obj)
 			st.Reported++
 		}
@@ -248,17 +274,34 @@ func (d *DynamicORPKW) Query(q *geom.Rect, ws []dataset.Keyword, report func(han
 		if b == nil {
 			continue
 		}
-		bst, err := b.ix.Query(q, ws, QueryOpts{}, func(id int32) {
+		failpoint(FPDynamicBucket)
+		if opts.Limit > 0 && st.Reported >= opts.Limit {
+			st.Truncated = true
+			return st, nil
+		}
+		// Reported live results are tracked here, not by the bucket's own
+		// stats: tombstoned hits must not count toward the limit.
+		live := 0
+		bopts := QueryOpts{Budget: opts.Budget, Policy: opts.Policy.shrunk(st.Ops)}
+		bst, berr := b.ix.Query(q, ws, bopts, func(id int32) {
 			e := &b.entries[id]
 			if _, gone := d.deleted[e.handle]; gone {
 				return
 			}
+			if opts.Limit > 0 && st.Reported+live >= opts.Limit {
+				return
+			}
 			report(e.handle, &e.obj)
+			live++
 		})
-		if err != nil {
-			return st, err
-		}
+		bst.Reported = live
 		st.add(bst)
+		if berr != nil {
+			return st, berr
+		}
+	}
+	if opts.Limit > 0 && st.Reported >= opts.Limit {
+		st.Truncated = true
 	}
 	return st, nil
 }

@@ -419,6 +419,16 @@ func (f *Framework) Dataset() *dataset.Dataset { return f.ds }
 // NumNodes returns the number of tree nodes.
 func (f *Framework) NumNodes() int { return len(f.nodes) }
 
+// PointDim returns the dimensionality of the partitioning coordinates (the
+// lifted dimension for SRP-KW, the rank-space dimension for ORP-KW); query
+// validation checks constraints against it.
+func (f *Framework) PointDim() int {
+	if len(f.pts) == 0 {
+		return 0
+	}
+	return len(f.pts[0])
+}
+
 // Space returns the analytic space audit.
 func (f *Framework) Space() SpaceBreakdown { return f.space }
 

@@ -58,14 +58,26 @@ func BuildMultiK(ds *dataset.Dataset, kMax int) (*MultiK, error) {
 func (m *MultiK) KMax() int { return m.kMax }
 
 // Query answers a rectangle query with any number of keywords in [1, KMax].
-func (m *MultiK) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+func (m *MultiK) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (st QueryStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError("MultiK.Query", r, echoRegion(q, ws))
+		}
+	}()
+	if e := validateRect(q, m.ds.Dim()); e != nil {
+		return QueryStats{}, e
+	}
 	switch {
 	case len(ws) == 0:
-		return QueryStats{}, fmt.Errorf("core: at least one keyword required")
+		return QueryStats{}, fmt.Errorf("%w: at least one keyword required", ErrInvalidQuery)
 	case len(ws) == 1:
-		var st QueryStats
+		opts = opts.normalized()
+		ps := newPolState(opts.Policy)
 		for _, id := range m.single[ws[0]] {
 			st.Ops++
+			if e := ps.check(&st, st.Ops); e != nil {
+				return st, e
+			}
 			if q.ContainsPoint(m.ds.Point(id)) {
 				report(id)
 				st.Reported++
@@ -86,7 +98,7 @@ func (m *MultiK) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, repor
 		// inner index cannot see the filter, so the result limit is applied
 		// here (the inner traversal may overshoot slightly).
 		if err := dataset.ValidateKeywords(ws); err != nil {
-			return QueryStats{}, err
+			return QueryStats{}, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
 		}
 		sub := append([]dataset.Keyword(nil), ws...)
 		sort.Slice(sub, func(a, b int) bool { return sub[a] < sub[b] })

@@ -161,20 +161,35 @@ func (ix *LinfNN) kthCandidate(q geom.Point, i int64, maxR float64) float64 {
 // Query returns up to t objects of D(w1..wk) nearest to q under the L∞
 // distance, sorted by distance (fewer when D(w1..wk) itself is smaller).
 func (ix *LinfNN) Query(q geom.Point, t int, ws []dataset.Keyword) ([]NNResult, NNStats, error) {
-	if len(q) != ix.dim {
-		return nil, NNStats{}, fmt.Errorf("core: query point of dimension %d against index of dimension %d", len(q), ix.dim)
-	}
-	if t < 1 {
-		return nil, NNStats{}, fmt.Errorf("core: t must be >= 1, got %d", t)
-	}
-	if err := dataset.ValidateKeywords(ws); err != nil {
+	return ix.QueryWith(q, t, ws, ExecPolicy{})
+}
+
+// QueryWith is Query under an execution policy: the deadline, node budget
+// and cancellation channel are shared across every range probe the search
+// issues, so a policy violation ends the whole search with a typed error
+// and NNStats describing the work done so far.
+func (ix *LinfNN) QueryWith(q geom.Point, t int, ws []dataset.Keyword, pol ExecPolicy) (res []NNResult, ns NNStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, newPanicError("LinfNN.Query", r, echoPoint(q, t, ws))
+		}
+	}()
+	if err := validatePoint(q, ix.dim); err != nil {
 		return nil, NNStats{}, err
 	}
-	var ns NNStats
+	if t < 1 {
+		return nil, NNStats{}, fmt.Errorf("%w: t must be >= 1, got %d", ErrInvalidQuery, t)
+	}
+	if err := dataset.ValidateKeywords(ws); err != nil {
+		return nil, NNStats{}, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
+	}
+	pol = (QueryOpts{Policy: pol}).normalized().Policy
 	ball := &geom.Rect{Lo: make([]float64, ix.dim), Hi: make([]float64, ix.dim)}
 	atLeastT := func(r float64) (bool, error) {
+		failpoint(FPNNProbe)
 		ns.Probes++
-		st, err := ix.base.Query(linfBallInto(ball, q, r), ws, QueryOpts{Limit: t}, func(int32) {})
+		st, err := ix.base.Query(linfBallInto(ball, q, r), ws,
+			QueryOpts{Limit: t, Policy: pol.shrunk(int64(ns.Inner.NodesVisited))}, func(int32) {})
 		ns.Inner.add(st)
 		return st.Reported >= t, err
 	}
@@ -216,14 +231,14 @@ func (ix *LinfNN) Query(q geom.Point, t int, ws []dataset.Keyword) ([]NNResult, 
 	}
 	// Final reporting pass at r*; ties at distance exactly r* are broken
 	// arbitrarily, as the problem statement allows.
-	var res []NNResult
 	ns.Probes++
-	st, err := ix.base.Query(linfBallInto(ball, q, rStar), ws, QueryOpts{}, func(id int32) {
-		res = append(res, NNResult{ID: id, Dist: q.LInf(ix.ds.Point(id))})
-	})
+	st, err := ix.base.Query(linfBallInto(ball, q, rStar), ws,
+		QueryOpts{Policy: pol.shrunk(int64(ns.Inner.NodesVisited))}, func(id int32) {
+			res = append(res, NNResult{ID: id, Dist: q.LInf(ix.ds.Point(id))})
+		})
 	ns.Inner.add(st)
 	if err != nil {
-		return nil, ns, err
+		return res, ns, err
 	}
 	sort.Slice(res, func(a, b int) bool {
 		if res[a].Dist != res[b].Dist {
@@ -289,19 +304,32 @@ func BuildL2NNWith(ds *dataset.Dataset, k int, opts BuildOpts) (*L2NN, error) {
 // Query returns up to t objects of D(w1..wk) nearest to q under L2 distance,
 // sorted by distance. q must have integer coordinates.
 func (ix *L2NN) Query(q geom.Point, t int, ws []dataset.Keyword) ([]NNResult, NNStats, error) {
-	if len(q) != ix.dim {
-		return nil, NNStats{}, fmt.Errorf("core: query point of dimension %d against index of dimension %d", len(q), ix.dim)
-	}
-	if t < 1 {
-		return nil, NNStats{}, fmt.Errorf("core: t must be >= 1, got %d", t)
-	}
-	if err := dataset.ValidateKeywords(ws); err != nil {
+	return ix.QueryWith(q, t, ws, ExecPolicy{})
+}
+
+// QueryWith is Query under an execution policy shared across every probe
+// (see LinfNN.QueryWith).
+func (ix *L2NN) QueryWith(q geom.Point, t int, ws []dataset.Keyword, pol ExecPolicy) (res []NNResult, ns NNStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, newPanicError("L2NN.Query", r, echoPoint(q, t, ws))
+		}
+	}()
+	if err := validatePoint(q, ix.dim); err != nil {
 		return nil, NNStats{}, err
 	}
-	var ns NNStats
+	if t < 1 {
+		return nil, NNStats{}, fmt.Errorf("%w: t must be >= 1, got %d", ErrInvalidQuery, t)
+	}
+	if err := dataset.ValidateKeywords(ws); err != nil {
+		return nil, NNStats{}, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
+	}
+	pol = (QueryOpts{Policy: pol}).normalized().Policy
 	atLeastT := func(r2 int64) (bool, error) {
+		failpoint(FPNNProbe)
 		ns.Probes++
-		st, err := ix.srp.QuerySq(q, float64(r2), ws, QueryOpts{Limit: t}, func(int32) {})
+		st, err := ix.srp.QuerySq(q, float64(r2), ws,
+			QueryOpts{Limit: t, Policy: pol.shrunk(int64(ns.Inner.NodesVisited))}, func(int32) {})
 		ns.Inner.add(st)
 		return st.Reported >= t, err
 	}
@@ -331,14 +359,14 @@ func (ix *L2NN) Query(q geom.Point, t int, ws []dataset.Keyword) ([]NNResult, NN
 		}
 		r2Star = lo
 	}
-	var res []NNResult
 	ns.Probes++
-	st, err := ix.srp.QuerySq(q, float64(r2Star), ws, QueryOpts{}, func(id int32) {
-		res = append(res, NNResult{ID: id, Dist: q.L2(ix.ds.Point(id))})
-	})
+	st, err := ix.srp.QuerySq(q, float64(r2Star), ws,
+		QueryOpts{Policy: pol.shrunk(int64(ns.Inner.NodesVisited))}, func(id int32) {
+			res = append(res, NNResult{ID: id, Dist: q.L2(ix.ds.Point(id))})
+		})
 	ns.Inner.add(st)
 	if err != nil {
-		return nil, ns, err
+		return res, ns, err
 	}
 	sort.Slice(res, func(a, b int) bool {
 		if res[a].Dist != res[b].Dist {

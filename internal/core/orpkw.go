@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sync"
 
 	"kwsc/internal/dataset"
@@ -63,15 +62,20 @@ func (ix *ORPKW) getRankRect() *geom.Rect {
 
 // Query reports every object in q whose document contains all keywords,
 // converting q to rank space in O(log N) first.
-func (ix *ORPKW) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
-	if q.Dim() != ix.ds.Dim() {
-		return QueryStats{}, fmt.Errorf("core: query rectangle has dimension %d, index has %d", q.Dim(), ix.ds.Dim())
+func (ix *ORPKW) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (st QueryStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError("ORPKW.Query", r, echoRegion(q, ws))
+		}
+	}()
+	if err := validateRect(q, ix.ds.Dim()); err != nil {
+		return QueryStats{}, err
 	}
 	rq := ix.getRankRect()
 	defer ix.rqPool.Put(rq)
 	if !ix.rs.ToRankRectInto(q, rq) {
 		// The rectangle misses every coordinate on some dimension.
-		if err := dataset.ValidateKeywords(ws); err != nil {
+		if err := ix.fw.checkQuery(ws); err != nil {
 			return QueryStats{}, err
 		}
 		return QueryStats{}, nil
@@ -87,14 +91,19 @@ func (ix *ORPKW) Collect(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts) ([]
 // CollectInto is Collect appending into buf, reusing its capacity. With a
 // warmed buffer the query path performs zero heap allocations; the returned
 // slice aliases buf only, so the caller owns the result.
-func (ix *ORPKW) CollectInto(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, buf []int32) ([]int32, QueryStats, error) {
-	if q.Dim() != ix.ds.Dim() {
-		return nil, QueryStats{}, fmt.Errorf("core: query rectangle has dimension %d, index has %d", q.Dim(), ix.ds.Dim())
+func (ix *ORPKW) CollectInto(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, buf []int32) (out []int32, st QueryStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, newPanicError("ORPKW.CollectInto", r, echoRegion(q, ws))
+		}
+	}()
+	if err := validateRect(q, ix.ds.Dim()); err != nil {
+		return nil, QueryStats{}, err
 	}
 	rq := ix.getRankRect()
 	defer ix.rqPool.Put(rq)
 	if !ix.rs.ToRankRectInto(q, rq) {
-		if err := dataset.ValidateKeywords(ws); err != nil {
+		if err := ix.fw.checkQuery(ws); err != nil {
 			return nil, QueryStats{}, err
 		}
 		return buf[:0], QueryStats{}, nil

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"time"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+)
+
+// This file is the resilience layer of the query side: ExecPolicy bounds a
+// traversal in wall-clock and work terms, invalid queries are rejected with
+// typed errors before they reach a traversal, and index-internal panics are
+// converted into errors at the public entry points. The paper bounds query
+// cost at O(N^{1-1/k} (1 + OUT^{1/k})) asymptotically, but a serving system
+// must bound it on adversarial inputs too — skewed documents, huge OUT,
+// degenerate rectangles — where one query can otherwise pin a core
+// indefinitely (inverted-index traversal is P-complete in general).
+
+// Typed failure modes of a policy-bounded query. All of them accompany
+// PARTIAL results: whatever was reported before the stop remains valid and
+// is a prefix of the unbounded answer sequence.
+var (
+	// ErrDeadline is returned when ExecPolicy.Deadline (or Timeout) passes
+	// mid-traversal.
+	ErrDeadline = errors.New("core: query deadline exceeded")
+	// ErrBudget is returned when ExecPolicy.NodeBudget visits are exhausted
+	// mid-traversal.
+	ErrBudget = errors.New("core: query node budget exhausted")
+	// ErrCanceled is returned when ExecPolicy.Done is closed mid-traversal.
+	ErrCanceled = errors.New("core: query canceled")
+	// ErrInvalidQuery wraps every input-validation failure (NaN coordinates,
+	// lo>hi rectangles, duplicate or wrong-count keyword tuples, ...); test
+	// with errors.Is.
+	ErrInvalidQuery = errors.New("core: invalid query")
+)
+
+// ExecPolicy bounds the execution of one query. The zero value imposes no
+// bounds and costs nothing on the traversal hot path. Unlike QueryOpts.Limit
+// and QueryOpts.Budget — which stop a query silently with a stats flag — a
+// policy violation surfaces as a typed error (ErrDeadline, ErrBudget,
+// ErrCanceled) alongside the partial results, so callers and the Degraded
+// executor can react.
+type ExecPolicy struct {
+	// Deadline is the absolute wall-clock stop time (zero = none). The
+	// traversal polls the clock every polPollEvery stop checks, so overshoot
+	// is bounded by a few microseconds of node work.
+	Deadline time.Time
+	// Timeout is a relative deadline resolved against time.Now at query
+	// entry; ignored when Deadline is set. Nested and secondary traversals
+	// share the resolved absolute deadline.
+	Timeout time.Duration
+	// NodeBudget stops the query after this many tree-node visits
+	// (0 = unlimited). Secondary structures and Bentley–Saxe buckets charge
+	// the same budget; scan-shaped paths (posting lists, write buffers)
+	// charge per examined entry.
+	NodeBudget int64
+	// MaxResults caps the number of reported objects (0 = unlimited). It
+	// folds into QueryOpts.Limit, so hitting it sets QueryStats.Truncated
+	// without an error.
+	MaxResults int
+	// Done cancels the query when closed (nil = none); pass ctx.Done() to
+	// integrate with context.Context. Polled at the same cadence as
+	// Deadline.
+	Done <-chan struct{}
+}
+
+// polPollEvery is how many stop checks pass between clock/cancellation
+// polls: stop checks fire at least once per node visit and per scanned
+// object, so polls land every few microseconds while keeping time.Now off
+// the per-node path.
+const polPollEvery = 64
+
+// Zero reports whether the policy imposes no bounds at all.
+func (p ExecPolicy) Zero() bool { return p == ExecPolicy{} }
+
+// normalized resolves the policy at query entry: Timeout becomes an absolute
+// Deadline (shared by nested traversals) and MaxResults folds into the
+// opts Limit. Idempotent, so stacked entry points may each call it.
+func (o QueryOpts) normalized() QueryOpts {
+	p := o.Policy
+	if p.Zero() {
+		return o
+	}
+	if p.Timeout > 0 && p.Deadline.IsZero() {
+		p.Deadline = time.Now().Add(p.Timeout)
+	}
+	p.Timeout = 0
+	if p.MaxResults > 0 && (o.Limit == 0 || p.MaxResults < o.Limit) {
+		o.Limit = p.MaxResults
+	}
+	p.MaxResults = 0
+	o.Policy = p
+	return o
+}
+
+// shrunk returns the policy with its node budget reduced by work already
+// consumed, for handing to a secondary traversal that restarts its own
+// counters. Deadline and Done are absolute and shared as-is.
+func (p ExecPolicy) shrunk(consumed int64) ExecPolicy {
+	if p.NodeBudget > 0 {
+		p.NodeBudget -= consumed
+		if p.NodeBudget <= 0 {
+			p.NodeBudget = 1 // the next check fires immediately
+		}
+	}
+	return p
+}
+
+// polState tracks one traversal's progress against its (normalized) policy.
+// It lives inside the pooled query contexts, so activating it allocates
+// nothing.
+type polState struct {
+	pol    ExecPolicy
+	active bool
+	tick   uint32
+}
+
+func newPolState(p ExecPolicy) polState {
+	return polState{
+		pol:    p,
+		active: !p.Deadline.IsZero() || p.NodeBudget > 0 || p.Done != nil,
+	}
+}
+
+// check returns the typed error that should stop the traversal now, or nil.
+// work is the traversal's progress measure charged against NodeBudget
+// (node visits for tree traversals, scanned entries for list scans). The
+// matching QueryStats flag is stamped before returning.
+func (ps *polState) check(st *QueryStats, work int64) error {
+	if !ps.active {
+		return nil
+	}
+	if ps.pol.NodeBudget > 0 && work > ps.pol.NodeBudget {
+		st.NodeBudgetHit, st.Truncated = true, true
+		return ErrBudget
+	}
+	if ps.tick == 0 {
+		ps.tick = polPollEvery
+		if ps.pol.Done != nil {
+			select {
+			case <-ps.pol.Done:
+				st.Canceled, st.Truncated = true, true
+				return ErrCanceled
+			default:
+			}
+		}
+		if !ps.pol.Deadline.IsZero() && !time.Now().Before(ps.pol.Deadline) {
+			st.DeadlineHit, st.Truncated = true, true
+			return ErrDeadline
+		}
+	}
+	ps.tick--
+	return nil
+}
+
+// PanicError is an index-internal panic converted into an error at a public
+// query entry point: the process survives, and the failing query is echoed
+// for reproduction.
+type PanicError struct {
+	Op    string // entry point, e.g. "ORPKW.CollectInto"
+	Query string // echo of the query inputs
+	Val   any    // the recovered panic value
+	Stack []byte // goroutine stack at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: panic in %s (%s): %v", e.Op, e.Query, e.Val)
+}
+
+// newPanicError captures the panic value and stack; called on the panic path
+// only, so its allocations never touch a healthy query.
+func newPanicError(op string, val any, query string) *PanicError {
+	return &PanicError{Op: op, Query: query, Val: val, Stack: debug.Stack()}
+}
+
+// echoRegion formats a query region and keyword tuple for PanicError.Query.
+func echoRegion(q geom.Region, ws []dataset.Keyword) string {
+	return fmt.Sprintf("region=%v keywords=%v", q, ws)
+}
+
+// echoPoint formats an NN query for PanicError.Query.
+func echoPoint(q geom.Point, t int, ws []dataset.Keyword) string {
+	return fmt.Sprintf("point=%v t=%d keywords=%v", q, t, ws)
+}
+
+// validateRect rejects rectangles no traversal can answer meaningfully: NaN
+// bounds (every comparison is false, silently dropping results) and lo > hi
+// on some dimension (an empty rectangle must be represented explicitly, not
+// passed as a query). Infinite bounds are legal half-open ranges.
+func validateRect(q *geom.Rect, dim int) error {
+	if q == nil {
+		return fmt.Errorf("%w: nil rectangle", ErrInvalidQuery)
+	}
+	if q.Dim() != dim || len(q.Hi) != len(q.Lo) {
+		return fmt.Errorf("%w: rectangle of dimension %d against index of dimension %d", ErrInvalidQuery, q.Dim(), dim)
+	}
+	for i := range q.Lo {
+		if math.IsNaN(q.Lo[i]) || math.IsNaN(q.Hi[i]) {
+			return fmt.Errorf("%w: NaN bound on dimension %d", ErrInvalidQuery, i)
+		}
+		if q.Lo[i] > q.Hi[i] {
+			return fmt.Errorf("%w: empty rectangle on dimension %d: [%v,%v]", ErrInvalidQuery, i, q.Lo[i], q.Hi[i])
+		}
+	}
+	return nil
+}
+
+// validatePoint rejects query points with non-finite coordinates.
+func validatePoint(p geom.Point, dim int) error {
+	if len(p) != dim {
+		return fmt.Errorf("%w: point of dimension %d against index of dimension %d", ErrInvalidQuery, len(p), dim)
+	}
+	for i, c := range p {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("%w: non-finite coordinate %v on dimension %d", ErrInvalidQuery, c, i)
+		}
+	}
+	return nil
+}
+
+// validateSphere rejects spheres with non-finite centers or NaN/negative
+// radii (an infinite radius is a legal full-space query).
+func validateSphere(s *geom.Sphere, dim int) error {
+	if s == nil {
+		return fmt.Errorf("%w: nil sphere", ErrInvalidQuery)
+	}
+	if err := validatePoint(s.Center, dim); err != nil {
+		return err
+	}
+	if math.IsNaN(s.Radius) || s.Radius < 0 {
+		return fmt.Errorf("%w: sphere radius %v", ErrInvalidQuery, s.Radius)
+	}
+	return nil
+}
+
+// validateHalfspaces rejects constraints with NaN coefficients or bounds.
+func validateHalfspaces(hs []geom.Halfspace, dim int) error {
+	if len(hs) == 0 {
+		return fmt.Errorf("%w: LC-KW query needs at least one constraint", ErrInvalidQuery)
+	}
+	for i, h := range hs {
+		if len(h.Coef) != dim {
+			return fmt.Errorf("%w: constraint %d has dimension %d, index has %d", ErrInvalidQuery, i, len(h.Coef), dim)
+		}
+		if math.IsNaN(h.Bound) {
+			return fmt.Errorf("%w: constraint %d has NaN bound", ErrInvalidQuery, i)
+		}
+		for j, c := range h.Coef {
+			if math.IsNaN(c) {
+				return fmt.Errorf("%w: constraint %d has NaN coefficient on dimension %d", ErrInvalidQuery, i, j)
+			}
+		}
+	}
+	return nil
+}

@@ -19,8 +19,15 @@ type QueryOpts struct {
 	// Budget stops the query after this many work units (pivot checks,
 	// materialized-list scans and node visits; 0 = unlimited). It realizes
 	// the paper's manual-termination argument for emptiness queries
-	// (footnote 4).
+	// (footnote 4). Exhaustion sets QueryStats.BudgetHit without an error;
+	// for the error-surfacing wall-clock and visit bounds of the serving
+	// path, use Policy.
 	Budget int64
+	// Policy bounds the query in wall-clock terms (deadline, node-visit
+	// budget, cancellation). The zero value imposes nothing and keeps the
+	// query path allocation-free; violations surface as typed errors
+	// (ErrDeadline, ErrBudget, ErrCanceled) alongside partial results.
+	Policy ExecPolicy
 }
 
 // QueryStats instruments one query; Ops is the machine-independent cost in
@@ -33,8 +40,14 @@ type QueryStats struct {
 	MatScanned    int64 // objects examined in materialized small lists
 	Reported      int
 	Ops           int64
-	Truncated     bool // stopped by Limit
+	Truncated     bool // stopped early: Limit, MaxResults, or any policy stop
 	BudgetHit     bool // stopped by Budget
+
+	// Resilience instrumentation (ExecPolicy and degraded-mode outcomes).
+	DeadlineHit   bool // stopped by Policy.Deadline/Timeout
+	NodeBudgetHit bool // stopped by Policy.NodeBudget
+	Canceled      bool // stopped by Policy.Done
+	Fallback      bool // answered by the degraded-mode baseline
 
 	// Dimension-reduction instrumentation (Section 4 / Figure 2): counts of
 	// type-1 nodes (sigma(u) contained in q's x-range; answered by the
@@ -54,6 +67,10 @@ func (st *QueryStats) add(o QueryStats) {
 	st.Ops += o.Ops
 	st.Truncated = st.Truncated || o.Truncated
 	st.BudgetHit = st.BudgetHit || o.BudgetHit
+	st.DeadlineHit = st.DeadlineHit || o.DeadlineHit
+	st.NodeBudgetHit = st.NodeBudgetHit || o.NodeBudgetHit
+	st.Canceled = st.Canceled || o.Canceled
+	st.Fallback = st.Fallback || o.Fallback
 	st.Type1Nodes += o.Type1Nodes
 	st.Type2Nodes += o.Type2Nodes
 }
@@ -62,16 +79,23 @@ func (st *QueryStats) add(o QueryStats) {
 // report every object whose point lies in q and whose document contains all
 // k keywords. The keyword tuple must contain exactly the arity k the index
 // was built with, with no duplicates.
-func (f *Framework) Query(q geom.Region, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+func (f *Framework) Query(q geom.Region, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (st QueryStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError("Framework.Query", r, echoRegion(q, ws))
+		}
+	}()
 	if err := f.checkQuery(ws); err != nil {
 		return QueryStats{}, err
 	}
+	opts = opts.normalized()
 	qc := getQctx()
 	qc.f, qc.q, qc.ws, qc.opts, qc.report = f, q, ws, opts, report
+	qc.pst = newPolState(opts.Policy)
 	f.run(qc)
-	st := qc.st
+	st, err = qc.st, qc.stopErr
 	putQctx(qc)
-	return st, nil
+	return st, err
 }
 
 // Collect is Query returning a slice of object ids. The slice is freshly
@@ -86,12 +110,19 @@ func (f *Framework) Collect(q geom.Region, ws []dataset.Keyword, opts QueryOpts)
 // pooled scratch, so the caller owns it outright; with a nil buf the ids
 // accumulate in pooled scratch and are copied out in one exact-size
 // allocation.
-func (f *Framework) CollectInto(q geom.Region, ws []dataset.Keyword, opts QueryOpts, buf []int32) ([]int32, QueryStats, error) {
+func (f *Framework) CollectInto(q geom.Region, ws []dataset.Keyword, opts QueryOpts, buf []int32) (out []int32, st QueryStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, newPanicError("Framework.CollectInto", r, echoRegion(q, ws))
+		}
+	}()
 	if err := f.checkQuery(ws); err != nil {
 		return nil, QueryStats{}, err
 	}
+	opts = opts.normalized()
 	qc := getQctx()
 	qc.f, qc.q, qc.ws, qc.opts = f, q, ws, opts
+	qc.pst = newPolState(opts.Policy)
 	qc.collecting = true
 	scratch := buf == nil
 	if scratch {
@@ -100,7 +131,7 @@ func (f *Framework) CollectInto(q geom.Region, ws []dataset.Keyword, opts QueryO
 		qc.out = buf[:0]
 	}
 	f.run(qc)
-	out, st := qc.out, qc.st
+	out, st, err = qc.out, qc.st, qc.stopErr
 	if scratch {
 		qc.res = out[:0] // keep the grown scratch for the next query
 		if len(out) > 0 {
@@ -110,14 +141,17 @@ func (f *Framework) CollectInto(q geom.Region, ws []dataset.Keyword, opts QueryO
 		}
 	}
 	putQctx(qc) // clears qc.out: the pool never retains the returned slice
-	return out, st, nil
+	return out, st, err
 }
 
 func (f *Framework) checkQuery(ws []dataset.Keyword) error {
 	if len(ws) != f.k {
-		return fmt.Errorf("core: query carries %d keywords but the index was built for k=%d", len(ws), f.k)
+		return fmt.Errorf("%w: query carries %d keywords but the index was built for k=%d", ErrInvalidQuery, len(ws), f.k)
 	}
-	return dataset.ValidateKeywords(ws)
+	if err := dataset.ValidateKeywords(ws); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidQuery, err)
+	}
+	return nil
 }
 
 func (f *Framework) run(qc *qctx) {
@@ -144,8 +178,10 @@ type qctx struct {
 	out        []int32
 	st         QueryStats
 	done       bool
-	sorted     []int32 // scratch for tensor index
-	res        []int32 // scratch accumulator for buf-less CollectInto
+	pst        polState // ExecPolicy progress (zero when no policy is set)
+	stopErr    error    // typed policy error that ended the traversal
+	sorted     []int32  // scratch for tensor index
+	res        []int32  // scratch accumulator for buf-less CollectInto
 }
 
 var qctxPool = sync.Pool{New: func() any { return new(qctx) }}
@@ -172,6 +208,13 @@ func (qc *qctx) stop() bool {
 		qc.done = true
 		return true
 	}
+	if qc.pst.active {
+		if err := qc.pst.check(&qc.st, int64(qc.st.NodesVisited)); err != nil {
+			qc.stopErr = err
+			qc.done = true
+			return true
+		}
+	}
 	return false
 }
 
@@ -197,6 +240,7 @@ func (qc *qctx) visit(u int32, rel geom.Relation) {
 	}
 	f := qc.f
 	n := &f.nodes[u]
+	failpoint(FPFrameworkVisit)
 	qc.st.NodesVisited++
 	qc.st.Ops++
 	covered := rel == geom.Covered

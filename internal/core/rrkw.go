@@ -87,8 +87,8 @@ func (ix *RRKW) cornerQuery(q *geom.Rect) *geom.Rect {
 // Query reports every data rectangle intersecting q whose document contains
 // all keywords.
 func (ix *RRKW) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
-	if q.Dim() != ix.d {
-		return QueryStats{}, fmt.Errorf("core: query rectangle has dimension %d, index has %d", q.Dim(), ix.d)
+	if err := validateRect(q, ix.d); err != nil {
+		return QueryStats{}, err
 	}
 	cq := ix.cornerQuery(q)
 	if ix.low != nil {
@@ -105,8 +105,8 @@ func (ix *RRKW) Collect(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts) ([]i
 // CollectInto is Collect appending into buf, reusing its capacity; the
 // returned slice aliases buf only.
 func (ix *RRKW) CollectInto(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, buf []int32) ([]int32, QueryStats, error) {
-	if q.Dim() != ix.d {
-		return nil, QueryStats{}, fmt.Errorf("core: query rectangle has dimension %d, index has %d", q.Dim(), ix.d)
+	if err := validateRect(q, ix.d); err != nil {
+		return nil, QueryStats{}, err
 	}
 	cq := ix.cornerQuery(q)
 	if ix.low != nil {

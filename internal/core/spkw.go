@@ -82,8 +82,8 @@ func (ix *SPKW) QuerySimplex(s *geom.Simplex, ws []dataset.Keyword, opts QueryOp
 // QueryConstraints answers an LC-KW query: report the objects satisfying
 // every linear constraint whose documents contain all keywords.
 func (ix *SPKW) QueryConstraints(hs []geom.Halfspace, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
-	if len(hs) == 0 {
-		return QueryStats{}, fmt.Errorf("core: LC-KW query needs at least one constraint")
+	if err := validateHalfspaces(hs, ix.fw.PointDim()); err != nil {
+		return QueryStats{}, err
 	}
 	return ix.fw.Query(geom.NewPolyhedron(hs...), ws, opts, report)
 }
@@ -102,8 +102,8 @@ func (ix *SPKW) CollectConstraints(hs []geom.Halfspace, ws []dataset.Keyword, op
 // CollectConstraintsInto is CollectConstraints appending into buf, reusing
 // its capacity; the returned slice aliases buf only.
 func (ix *SPKW) CollectConstraintsInto(hs []geom.Halfspace, ws []dataset.Keyword, opts QueryOpts, buf []int32) ([]int32, QueryStats, error) {
-	if len(hs) == 0 {
-		return nil, QueryStats{}, fmt.Errorf("core: LC-KW query needs at least one constraint")
+	if err := validateHalfspaces(hs, ix.fw.PointDim()); err != nil {
+		return nil, QueryStats{}, err
 	}
 	return ix.fw.CollectInto(geom.NewPolyhedron(hs...), ws, opts, buf)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
@@ -38,8 +39,8 @@ func BuildSRPKWWith(ds *dataset.Dataset, k int, opts BuildOpts) (*SRPKW, error) 
 // Query reports every object inside the sphere whose document contains all
 // keywords.
 func (ix *SRPKW) Query(s *geom.Sphere, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
-	if s.Dim() != ix.dim {
-		return QueryStats{}, fmt.Errorf("core: sphere of dimension %d against index of dimension %d", s.Dim(), ix.dim)
+	if err := validateSphere(s, ix.dim); err != nil {
+		return QueryStats{}, err
 	}
 	hs := geom.LiftSphere(s)
 	return ix.sp.QueryConstraints([]geom.Halfspace{hs}, ws, opts, report)
@@ -49,6 +50,12 @@ func (ix *SRPKW) Query(s *geom.Sphere, ws []dataset.Keyword, opts QueryOpts, rep
 // search of Corollary 7 uses it to binary-search exact integer squared
 // distances.
 func (ix *SRPKW) QuerySq(center geom.Point, radiusSq float64, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+	if err := validatePoint(center, ix.dim); err != nil {
+		return QueryStats{}, err
+	}
+	if math.IsNaN(radiusSq) || radiusSq < 0 {
+		return QueryStats{}, fmt.Errorf("%w: squared radius %v", ErrInvalidQuery, radiusSq)
+	}
 	hs := geom.LiftSphereSq(center, radiusSq)
 	return ix.sp.QueryConstraints([]geom.Halfspace{hs}, ws, opts, report)
 }
@@ -61,8 +68,8 @@ func (ix *SRPKW) Collect(s *geom.Sphere, ws []dataset.Keyword, opts QueryOpts) (
 // CollectInto is Collect appending into buf, reusing its capacity; the
 // returned slice aliases buf only.
 func (ix *SRPKW) CollectInto(s *geom.Sphere, ws []dataset.Keyword, opts QueryOpts, buf []int32) ([]int32, QueryStats, error) {
-	if s.Dim() != ix.dim {
-		return nil, QueryStats{}, fmt.Errorf("core: sphere of dimension %d against index of dimension %d", s.Dim(), ix.dim)
+	if err := validateSphere(s, ix.dim); err != nil {
+		return nil, QueryStats{}, err
 	}
 	hs := geom.LiftSphere(s)
 	return ix.sp.CollectConstraintsInto([]geom.Halfspace{hs}, ws, opts, buf)

@@ -46,6 +46,7 @@
 package kwsc
 
 import (
+	"context"
 	"io"
 
 	"kwsc/internal/bitpack"
@@ -332,3 +333,41 @@ const (
 // NewPlanner builds all three strategies for k-keyword queries over the
 // dataset.
 func NewPlanner(ds *Dataset, k int) (*QueryPlanner, error) { return core.BuildPlanner(ds, k) }
+
+// Resilience: every query accepts an ExecPolicy (via QueryOpts.Policy or the
+// NN QueryWith variants) bounding its execution by wall-clock deadline, node
+// budget, result cap, and cancellation channel. A policy stop returns the
+// results reported so far — a prefix of the full answer — together with a
+// typed error (ErrDeadline, ErrBudget, ErrCanceled). Index-internal panics
+// are converted to *PanicError values carrying the offending query, so a
+// corrupted traversal cannot take the process down.
+type (
+	// ExecPolicy bounds one query's execution; the zero value imposes none.
+	ExecPolicy = core.ExecPolicy
+	// PanicError wraps a panic recovered inside an index, echoing the query.
+	PanicError = core.PanicError
+)
+
+// Typed resilience and validation errors; match with errors.Is / errors.As.
+var (
+	// ErrDeadline reports a query stopped by its policy deadline.
+	ErrDeadline = core.ErrDeadline
+	// ErrBudget reports a query stopped by its policy node budget.
+	ErrBudget = core.ErrBudget
+	// ErrCanceled reports a query stopped by its policy Done channel.
+	ErrCanceled = core.ErrCanceled
+	// ErrInvalidQuery wraps every query-validation failure (NaN coordinates,
+	// inverted rectangles, malformed keyword lists, arity mismatches).
+	ErrInvalidQuery = core.ErrInvalidQuery
+)
+
+// PolicyFromContext derives an ExecPolicy from a context: its deadline (if
+// any) and its cancellation channel. Compose further bounds by setting
+// NodeBudget or MaxResults on the returned value.
+func PolicyFromContext(ctx context.Context) ExecPolicy {
+	p := ExecPolicy{Done: ctx.Done()}
+	if dl, ok := ctx.Deadline(); ok {
+		p.Deadline = dl
+	}
+	return p
+}
