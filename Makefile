@@ -1,18 +1,19 @@
 # Convenience targets; everything is plain `go` underneath.
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build test race cover bench bench-save bench-compare check repro repro-quick examples clean
+.PHONY: all build test race vet cover bench bench-save bench-compare check repro repro-quick examples clean
 
 all: build test
 
-# The full pre-merge gate: vet, the complete test suite, and the race
-# detector over the concurrent paths (parallel builds, QueryBatch workers,
-# shared-index readers) including the failpoint/resilience tests.
-check:
-	$(GO) vet ./...
+# The full pre-merge gate: vet + formatting, the complete test suite, and the
+# race detector over the concurrent paths (parallel builds, QueryBatch
+# workers, shared-index readers, the metrics registry) including the
+# failpoint/resilience tests.
+check: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/ ./internal/spart/
+	$(GO) test -race ./internal/core/ ./internal/spart/ ./internal/obs/
 
 build:
 	$(GO) build ./...
@@ -21,11 +22,21 @@ build:
 test:
 	$(GO) test ./...
 
+# Static checks: go vet plus a gofmt cleanliness gate (fails listing any
+# unformatted file).
+vet:
+	$(GO) vet ./...
+	@unformatted=$$($(GOFMT) -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
 # Race coverage over the concurrent paths: parallel builds, QueryBatch and
-# shared-index Collect calls all run under the detector.
+# shared-index Collect calls, and the metrics registry/tracer/slow-log all
+# run under the detector.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/ ./internal/spart/
+	$(GO) test -race ./internal/core/ ./internal/spart/ ./internal/obs/
 
 cover:
 	$(GO) test -cover ./...
@@ -33,19 +44,27 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# The tier-1 bench families snapshotted by bench-save / checked by
+# bench-compare; the MetricsOn/Off pair keeps the observability overhead and
+# the zero-alloc metrics-on property in the perf trajectory.
+BENCH_TIME ?= 200x
+BENCH_REGEX = ^(BenchmarkE1ORPKW2D|BenchmarkE2ORPKW3D|BenchmarkORPKW2DCollect|BenchmarkORPKW2DCollectInto|BenchmarkORPKW2DCollectIntoMetricsOn|BenchmarkORPKW2DCollectIntoMetricsOff|BenchmarkBuildORPKW|BenchmarkBuildLCKW)
+
 # Snapshot the tier-1 bench families as BENCH_<date>.json so later changes
-# have a perf trajectory to compare against.
+# have a perf trajectory to compare against. The snapshot embeds the metrics
+# registry of the run ({records, metrics}).
 bench-save:
-	$(GO) test -run '^$$' -bench '^(BenchmarkE1ORPKW2D|BenchmarkE2ORPKW3D|BenchmarkORPKW2DCollect|BenchmarkORPKW2DCollectInto|BenchmarkBuildORPKW|BenchmarkBuildLCKW)' \
-		-benchmem -benchtime=20x . | $(GO) run ./cmd/benchsave -out BENCH_$(shell date +%Y-%m-%d).json
+	$(GO) test -run '^$$' -bench '$(BENCH_REGEX)' \
+		-benchmem -benchtime=$(BENCH_TIME) . | $(GO) run ./cmd/benchsave -out BENCH_$(shell date +%Y-%m-%d).json
 
 # Compare a fresh run of the tier-1 bench families against the committed
 # baseline; fails on >1.5x ns/op drift or ANY allocs/op increase (the
-# zero-alloc query paths are a hard property, not a number to drift).
+# zero-alloc query paths are a hard property, not a number to drift —
+# including with the metrics registry enabled).
 BENCH_BASELINE ?= BENCH_2026-08-06.json
 bench-compare:
-	$(GO) test -run '^$$' -bench '^(BenchmarkE1ORPKW2D|BenchmarkE2ORPKW3D|BenchmarkORPKW2DCollect|BenchmarkORPKW2DCollectInto|BenchmarkBuildORPKW|BenchmarkBuildLCKW)' \
-		-benchmem -benchtime=20x . | $(GO) run ./cmd/benchsave -compare $(BENCH_BASELINE)
+	$(GO) test -run '^$$' -bench '$(BENCH_REGEX)' \
+		-benchmem -benchtime=$(BENCH_TIME) . | $(GO) run ./cmd/benchsave -compare $(BENCH_BASELINE)
 
 # Regenerate every experiment of EXPERIMENTS.md (full sweeps; minutes).
 repro:

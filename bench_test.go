@@ -7,16 +7,32 @@ package kwsc
 // cmd/benchkw, which shares these workloads.
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 
 	"kwsc/internal/core"
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
+	"kwsc/internal/obs"
 	"kwsc/internal/spart"
 	"kwsc/internal/workload"
 )
+
+// TestMain emits the metrics registry after a benchmark run as a single
+// `# kwsc-metrics:` line, which cmd/benchsave embeds in the committed
+// baseline snapshot ({records, metrics}); plain test runs stay silent.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if f := flag.Lookup("test.bench"); code == 0 && f != nil && f.Value.String() != "" {
+		if data, err := obs.Default().Snapshot().MarshalCompact(); err == nil {
+			fmt.Printf("# kwsc-metrics: %s\n", data)
+		}
+	}
+	os.Exit(code)
+}
 
 // plantedFixture builds a planted dataset with OUT matches inside the target
 // region and per-keyword posting lists of size OUT + partial.
@@ -77,14 +93,14 @@ func BenchmarkE1Baselines(b *testing.B) {
 	const n = 1 << 15
 	ds, kws, region := plantedFixture(3, n, 2, 2, 64, n/8)
 	b.Run("keywords-only", func(b *testing.B) {
-		inv := NewInvertedIndex(ds)
+		inv, _ := NewInvertedIndex(ds)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			_ = inv.KeywordsOnly(region, kws)
 		}
 	})
 	b.Run("structured-only", func(b *testing.B) {
-		so := NewStructuredOnly(ds)
+		so, _ := NewStructuredOnly(ds)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			_, _, _ = so.Query(region, kws)
@@ -191,7 +207,7 @@ func BenchmarkE5LinfNN(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := Point{rng.Float64(), rng.Float64()}
-				if _, _, err := ix.Query(q, t, []Keyword{1, 2}); err != nil {
+				if _, _, err := ix.Query(q, t, []Keyword{1, 2}, QueryOpts{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -281,7 +297,7 @@ func BenchmarkE8L2NN(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := Point{float64(rng.Int63n(1 << 16)), float64(rng.Int63n(1 << 16))}
-				if _, _, err := ix.Query(q, t, []Keyword{1, 2}); err != nil {
+				if _, _, err := ix.Query(q, t, []Keyword{1, 2}, QueryOpts{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -314,7 +330,7 @@ func BenchmarkE9KSI(b *testing.B) {
 	}
 	b.Run("baseline-invidx", func(b *testing.B) {
 		ds, kws, _ := plantedFixture(12, n, 2, 2, 64, n/8)
-		inv := NewInvertedIndex(ds)
+		inv, _ := NewInvertedIndex(ds)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			_ = inv.Intersect(kws)
@@ -492,6 +508,32 @@ func BenchmarkORPKW2DCollectInto(b *testing.B) {
 	}
 }
 
+// The observability overhead pair: the same hot path with registry updates
+// on (the default) and off. The acceptance bar is <5% ns/op overhead and
+// identical (zero) allocs/op.
+func BenchmarkORPKW2DCollectIntoMetricsOn(b *testing.B)  { benchCollectIntoMetrics(b, true) }
+func BenchmarkORPKW2DCollectIntoMetricsOff(b *testing.B) { benchCollectIntoMetrics(b, false) }
+
+func benchCollectIntoMetrics(b *testing.B, on bool) {
+	ds, kws, region := plantedFixture(24, 1<<15, 2, 2, 64, 1<<12)
+	ix, err := NewORPKW(ds, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	EnableMetrics(on)
+	defer EnableMetrics(true)
+	buf := make([]int32, 0, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids, _, err := ix.CollectInto(region, kws, QueryOpts{}, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = ids[:0]
+	}
+}
+
 // Keep the imports honest.
 var (
 	_ = core.QueryOpts{}
@@ -548,7 +590,7 @@ func BenchmarkExtDynamicQuery(b *testing.B) {
 // The Cohen–Porat 2-SI ancestor structure on the E9 workload.
 func BenchmarkExtTwoSI(b *testing.B) {
 	ds, kws, _ := plantedFixture(22, 1<<15, 2, 2, 64, 1<<12)
-	ix := NewTwoSI(ds)
+	ix, _ := NewTwoSI(ds)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := ix.Report(kws[0], kws[1]); err != nil {

@@ -26,6 +26,7 @@ import (
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
 	"kwsc/internal/invidx"
+	"kwsc/internal/obs"
 	"kwsc/internal/spart"
 	"kwsc/internal/stats"
 	"kwsc/internal/twosi"
@@ -33,9 +34,10 @@ import (
 )
 
 var (
-	flagExp   = flag.String("exp", "all", "comma-separated experiment ids (e1,e1b,e2,e3,e4,e5,e6,e6b,e7,e8,e9,f1,f2,a1,a2,a3,space,planner) or 'all'")
-	flagQuick = flag.Bool("quick", false, "smaller sweeps (CI-friendly)")
-	flagSeed  = flag.Int64("seed", 1, "base RNG seed")
+	flagExp     = flag.String("exp", "all", "comma-separated experiment ids (e1,e1b,e2,e3,e4,e5,e6,e6b,e7,e8,e9,f1,f2,a1,a2,a3,space,planner) or 'all'")
+	flagQuick   = flag.Bool("quick", false, "smaller sweeps (CI-friendly)")
+	flagSeed    = flag.Int64("seed", 1, "base RNG seed")
+	flagMetrics = flag.Bool("metrics", false, "dump the metrics registry (Prometheus text format) after the run")
 )
 
 type experiment struct {
@@ -82,6 +84,13 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *flagExp)
 		os.Exit(2)
+	}
+	if *flagMetrics {
+		fmt.Println("==== METRICS: registry after the run ====")
+		if err := obs.Default().Snapshot().WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics dump: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -312,9 +321,9 @@ func e5() {
 		const reps = 5
 		for i := 0; i < reps; i++ {
 			q := geom.Point{rng.Float64(), rng.Float64()}
-			_, ns, err := ix.Query(q, t, []dataset.Keyword{1, 2})
+			_, ns, err := ix.Query(q, t, []dataset.Keyword{1, 2}, core.QueryOpts{})
 			check(err)
-			ops += float64(ns.Inner.Ops)
+			ops += float64(ns.Ops)
 			probes += float64(ns.Probes)
 		}
 		ops /= reps
@@ -471,9 +480,9 @@ func e8() {
 		const reps = 5
 		for i := 0; i < reps; i++ {
 			q := geom.Point{float64(rng.Int63n(1 << 16)), float64(rng.Int63n(1 << 16))}
-			_, ns, err := ix.Query(q, t, []dataset.Keyword{1, 2})
+			_, ns, err := ix.Query(q, t, []dataset.Keyword{1, 2}, core.QueryOpts{})
 			check(err)
-			ops += float64(ns.Inner.Ops)
+			ops += float64(ns.Ops)
 			probes += float64(ns.Probes)
 		}
 		ops /= reps

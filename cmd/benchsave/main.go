@@ -24,38 +24,54 @@ type Record struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
+// SnapshotFile is the on-disk schema: the benchmark records plus the metrics
+// registry the run emitted (the `# kwsc-metrics:` line TestMain prints under
+// -bench). Baselines written as a bare record array by earlier versions still
+// parse.
+type SnapshotFile struct {
+	Records []Record        `json:"records"`
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+}
+
+// metricsPrefix marks the registry snapshot line in benchmark output.
+const metricsPrefix = "# kwsc-metrics: "
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	compare := flag.String("compare", "", "baseline JSON to compare stdin results against (exits 1 on regression)")
 	tolerance := flag.Float64("tolerance", 1.5, "with -compare: max allowed ns/op ratio vs baseline")
 	flag.Parse()
 
-	var recs []Record
+	var snap SnapshotFile
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
+		if strings.HasPrefix(line, metricsPrefix) {
+			snap.Metrics = json.RawMessage(strings.TrimPrefix(line, metricsPrefix))
+			continue
+		}
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}
 		if r, ok := parseLine(line); ok {
-			recs = append(recs, r)
+			snap.Records = append(snap.Records, r)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchsave: reading stdin: %v\n", err)
 		os.Exit(1)
 	}
-	if len(recs) == 0 {
+	if len(snap.Records) == 0 {
 		fmt.Fprintln(os.Stderr, "benchsave: no benchmark lines on stdin")
 		os.Exit(1)
 	}
 
 	if *compare != "" {
-		os.Exit(compareBaseline(recs, *compare, *tolerance))
+		os.Exit(compareBaseline(snap.Records, *compare, *tolerance))
 	}
 
-	data, err := json.MarshalIndent(recs, "", "  ")
+	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchsave: %v\n", err)
 		os.Exit(1)
@@ -69,7 +85,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchsave: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchsave: wrote %d records to %s\n", len(recs), *out)
+	fmt.Fprintf(os.Stderr, "benchsave: wrote %d records to %s\n", len(snap.Records), *out)
 }
 
 // compareBaseline checks fresh records against the committed baseline:
@@ -83,8 +99,8 @@ func compareBaseline(recs []Record, path string, tolerance float64) int {
 		fmt.Fprintf(os.Stderr, "benchsave: reading baseline: %v\n", err)
 		return 1
 	}
-	var base []Record
-	if err := json.Unmarshal(raw, &base); err != nil {
+	base, err := parseBaseline(raw)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchsave: parsing baseline %s: %v\n", path, err)
 		return 1
 	}
@@ -129,6 +145,20 @@ func compareBaseline(recs []Record, path string, tolerance float64) int {
 	}
 	fmt.Fprintf(os.Stderr, "benchsave: %d benchmarks within %.2fx of %s\n", matched, tolerance, path)
 	return 0
+}
+
+// parseBaseline accepts both schema generations: the current
+// {records, metrics} object and the legacy bare record array.
+func parseBaseline(raw []byte) ([]Record, error) {
+	var snap SnapshotFile
+	if err := json.Unmarshal(raw, &snap); err == nil && len(snap.Records) > 0 {
+		return snap.Records, nil
+	}
+	var recs []Record
+	if err := json.Unmarshal(raw, &recs); err != nil {
+		return nil, err
+	}
+	return recs, nil
 }
 
 func ratio(a, b float64) float64 {

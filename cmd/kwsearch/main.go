@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -69,6 +70,8 @@ func main() {
 	fatal(err)
 	s.ksi, err = kwsc.NewKSIFromDataset(ds, 2)
 	fatal(err)
+	// Keep the most expensive queries of the session for the slow command.
+	kwsc.EnableSlowLog(16, 1)
 	fmt.Println("ready; type 'help' for commands, coordinates are in [0,1)")
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -98,7 +101,7 @@ func (s *session) dispatch(fields []string) (err error) {
 	switch fields[0] {
 	case "help":
 		fmt.Println("range x1 x2 y1 y2 w1 w2 | near x y t w1 w2 | ball x y r w1 w2")
-		fmt.Println("line a b c w1 w2 | isect w1 w2 | budget nodes | stats | quit")
+		fmt.Println("line a b c w1 w2 | isect w1 w2 | budget nodes | stats | metrics | slow | quit")
 	case "stats":
 		sp := s.orp.Space()
 		fmt.Printf("objects=%d N=%d W=%d dim=%d\n", s.ds.Len(), s.ds.N(), s.ds.W(), s.ds.Dim())
@@ -106,6 +109,21 @@ func (s *session) dispatch(fields []string) (err error) {
 			s.orp.Framework().NumNodes(), sp.TotalWords(64), s.orp.Framework().Height())
 		if s.pol.NodeBudget > 0 {
 			fmt.Printf("session node budget: %d\n", s.pol.NodeBudget)
+		}
+		printSessionMetrics()
+	case "metrics":
+		// Full registry dump in the Prometheus text format.
+		if err := kwsc.WriteMetricsPrometheus(os.Stdout); err != nil {
+			return err
+		}
+	case "slow":
+		entries := kwsc.SlowQueries()
+		if len(entries) == 0 {
+			fmt.Println("slow-query log is empty (it keeps the top 16 queries by work)")
+		}
+		for i, e := range entries {
+			fmt.Printf("  %2d. [%s.%s] ops=%d nodes=%d %v outcome=%s %s\n",
+				i+1, e.Family, e.Op, e.Ops, e.Nodes, e.Elapsed, e.Outcome, e.Query)
 		}
 	case "budget":
 		args, err := floats(fields[1:], 1)
@@ -137,7 +155,8 @@ func (s *session) dispatch(fields []string) (err error) {
 		if err != nil {
 			return err
 		}
-		res, ns, err := s.nn.QueryWith(kwsc.Point{args[0], args[1]}, int(args[2]), kws(args[3], args[4]), s.pol)
+		res, ns, err := s.nn.Query(kwsc.Point{args[0], args[1]}, int(args[2]), kws(args[3], args[4]),
+			kwsc.QueryOpts{Policy: s.pol})
 		if err != nil && len(res) == 0 {
 			return err
 		}
@@ -178,6 +197,26 @@ func (s *session) dispatch(fields []string) (err error) {
 		return fmt.Errorf("unknown command %q; type 'help'", fields[0])
 	}
 	return nil
+}
+
+// printSessionMetrics summarizes the registry's per-family query counters
+// for the stats command; the metrics command prints the full registry.
+func printSessionMetrics() {
+	snap := kwsc.Metrics()
+	total := int64(0)
+	var lines []string
+	for name, v := range snap.Counters {
+		if v == 0 || !strings.HasPrefix(name, "kwsc_queries_total{") {
+			continue
+		}
+		total += v
+		lines = append(lines, fmt.Sprintf("  %s = %d", name, v))
+	}
+	sort.Strings(lines)
+	fmt.Printf("queries this session: %d ('metrics' dumps the full registry)\n", total)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
 }
 
 func kws(a, b float64) []kwsc.Keyword {

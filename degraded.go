@@ -6,7 +6,12 @@ import (
 
 	"kwsc/internal/core"
 	"kwsc/internal/invidx"
+	"kwsc/internal/obs"
 )
+
+// fallbacksTotal counts degraded-mode fallbacks process-wide; each Degraded
+// instance also keeps its own FallbackCount.
+var fallbacksTotal = obs.Default().Counter("kwsc_fallbacks_total")
 
 // Degraded answers rectangle+keywords queries through the paper's index but
 // falls back to the inverted-index baseline when the index path degrades: a
@@ -63,6 +68,9 @@ func (d *Degraded) Collect(q *Rect, ws []Keyword, opts QueryOpts) ([]int32, Quer
 		return ids, st, err
 	}
 	d.fallbacks.Add(1)
+	if obs.MetricsEnabled() {
+		fallbacksTotal.Inc()
+	}
 	full := d.inv.KeywordsOnly(q, ws)
 	fst := QueryStats{Fallback: true, Ops: st.Ops + d.inv.ScanCost(ws), Reported: len(full)}
 	limit := opts.Limit

@@ -53,7 +53,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, ns, err := linf.Query(addr, 5, kws)
+	res, ns, err := linf.Query(addr, 5, kws, kwsc.QueryOpts{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res2, ns2, err := l2.Query(addr, 5, kws)
+	res2, ns2, err := l2.Query(addr, 5, kws, kwsc.QueryOpts{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -76,11 +76,17 @@ func main() {
 	fmt.Printf("C2 (linear): %d hotels, %d work units\n", len(lcIDs), stLC.Ops)
 
 	// --- The two naive baselines on C1. -----------------------------------
-	inv := kwsc.NewInvertedIndex(ds)
+	inv, err := kwsc.NewInvertedIndex(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
 	kwOnly := inv.KeywordsOnly(c1, kws)
 	fmt.Printf("keywords-only baseline: %d results after scanning %d posting entries\n",
 		len(kwOnly), inv.ScanCost(kws))
-	so := kwsc.NewStructuredOnly(ds)
+	so, err := kwsc.NewStructuredOnly(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
 	soIDs, candidates, _ := so.Query(c1, kws)
 	fmt.Printf("structured-only baseline: %d results after filtering %d candidates\n",
 		len(soIDs), candidates)

@@ -9,6 +9,7 @@ import (
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
+	"kwsc/internal/obs"
 	"kwsc/internal/workload"
 )
 
@@ -42,6 +43,41 @@ func TestCollectIntoZeroAllocsWithoutPolicy(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("CollectInto without policy allocates %v per op, want 0", allocs)
+	}
+}
+
+// The metrics registry must be free in the allocation sense too: with
+// metrics explicitly enabled AND the slow log armed (but its gate above this
+// query's cost), the instrumented CollectInto path performs only atomic
+// updates — no span or echo is ever formatted.
+func TestCollectIntoZeroAllocsWithMetricsAndSlowLog(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 32, Objects: 1 << 12, Dim: 2, Vocab: 64, DocLen: 5})
+	ix, err := BuildORPKW(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.SetMetricsEnabled(true)
+	obs.EnableSlowLog(4, int64(1)<<40) // armed, admits nothing realistic
+	defer obs.EnableSlowLog(0, 0)
+	q := workload.RandRect(rand.New(rand.NewSource(32)), 2, 0.4)
+	ws := []dataset.Keyword{1, 2}
+	buf := make([]int32, 0, 4096)
+	for i := 0; i < 4; i++ {
+		ids, _, err := ix.CollectInto(q, ws, QueryOpts{}, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = ids[:0]
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		ids, _, err := ix.CollectInto(q, ws, QueryOpts{}, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = ids[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("CollectInto with metrics+slow-log armed allocates %v per op, want 0", allocs)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
+	"kwsc/internal/obs"
 )
 
 // RectQuery is one query of a batch: a rectangle plus its keywords.
@@ -76,6 +77,12 @@ func safeOne(one func(RectQuery, []int32) BatchResult, q RectQuery, buf []int32)
 }
 
 func runBatch(queries []RectQuery, parallelism int, prev []BatchResult, one func(RectQuery, []int32) BatchResult) []BatchResult {
+	if obs.MetricsEnabled() {
+		// Batch throughput; the per-query family counters are fed by the
+		// inner CollectInto calls on the (tagged) index itself.
+		batchRuns.Inc()
+		batchQueries.Add(int64(len(queries)))
+	}
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
+	"kwsc/internal/obs"
 	"kwsc/internal/spart"
 )
 
@@ -28,6 +29,9 @@ type ORPKWHigh struct {
 	space    SpaceBreakdown
 
 	gate *parGate // build-time goroutine budget, shared with secondaries
+
+	fam    family     // metrics family (famNone when built with NoObs)
+	tracer obs.Tracer // per-index tracer, may be nil
 
 	// rqPool recycles rank-space query rectangles (see ORPKW.rqPool).
 	rqPool sync.Pool
@@ -65,22 +69,29 @@ type drNode struct {
 const drLeafSize = 8
 
 // BuildORPKWHigh constructs the index; the dataset must have dimension >= 3.
-func BuildORPKWHigh(ds *dataset.Dataset, k int) (*ORPKWHigh, error) {
-	return BuildORPKWHighWith(ds, k, BuildOpts{})
+func BuildORPKWHigh(ds *dataset.Dataset, k int, opts ...BuildOption) (*ORPKWHigh, error) {
+	return BuildORPKWHighWith(ds, k, resolveOpts(opts))
 }
 
 // BuildORPKWHighWith is BuildORPKWHigh with explicit construction options.
 // The goroutine budget is shared between the x-dimension tree and every
 // per-node secondary framework build.
 func BuildORPKWHighWith(ds *dataset.Dataset, k int, opts BuildOpts) (*ORPKWHigh, error) {
+	if err := checkDataset(ds); err != nil {
+		return nil, err
+	}
 	if ds.Dim() < 3 {
 		return nil, fmt.Errorf("core: ORPKWHigh requires d >= 3 (got d=%d); use BuildORPKW", ds.Dim())
 	}
 	if k < 2 {
 		return nil, fmt.Errorf("core: k >= 2 required, got %d", k)
 	}
+	bt := obsBuildStart()
 	rs := dataset.NewRankSpace(ds)
-	ix := &ORPKWHigh{ds: ds, rs: rs, k: k, dim: ds.Dim(), gate: newParGate(opts.Parallelism)}
+	ix := &ORPKWHigh{
+		ds: ds, rs: rs, k: k, dim: ds.Dim(), gate: newParGate(opts.Parallelism),
+		fam: opts.famFor(famORPKWHigh), tracer: opts.Tracer,
+	}
 	ix.lastPair = make([]geom.Point, ds.Len())
 	for i := range ix.lastPair {
 		id := int32(i)
@@ -100,6 +111,7 @@ func BuildORPKWHighWith(ds *dataset.Dataset, k int, opts BuildOpts) (*ORPKWHigh,
 	ix.root = t
 	ix.gate = nil
 	ix.accountSpace()
+	obsBuildEnd(ix.fam, bt)
 	return ix, nil
 }
 
@@ -291,9 +303,13 @@ func fanoutAt(k, level int, cap int64) int64 {
 // Query reports every object in q (original coordinates) whose document
 // contains all k keywords.
 func (ix *ORPKWHigh) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (st QueryStats, err error) {
+	qt := obsBegin(ix.fam, "Query", ix.tracer)
 	defer func() {
 		if r := recover(); r != nil {
 			err = newPanicError("ORPKWHigh.Query", r, echoRegion(q, ws))
+		}
+		if obsEnd(ix.fam, qt, &st, err, ix.tracer) {
+			obsSpan(ix.fam, "Query", echoRegion(q, ws), ix.k, qt, &st, err, ix.tracer)
 		}
 	}()
 	if err := ix.checkQuery(q, ws); err != nil {
@@ -332,9 +348,13 @@ func (ix *ORPKWHigh) Collect(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts)
 // CollectInto is Collect appending into buf, reusing its capacity. The
 // returned slice aliases buf only — never pooled scratch.
 func (ix *ORPKWHigh) CollectInto(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, buf []int32) (out []int32, st QueryStats, err error) {
+	qt := obsBegin(ix.fam, "CollectInto", ix.tracer)
 	defer func() {
 		if r := recover(); r != nil {
 			out, err = nil, newPanicError("ORPKWHigh.CollectInto", r, echoRegion(q, ws))
+		}
+		if obsEnd(ix.fam, qt, &st, err, ix.tracer) {
+			obsSpan(ix.fam, "CollectInto", echoRegion(q, ws), ix.k, qt, &st, err, ix.tracer)
 		}
 	}()
 	if err := ix.checkQuery(q, ws); err != nil {

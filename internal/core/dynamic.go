@@ -6,6 +6,7 @@ import (
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
+	"kwsc/internal/obs"
 )
 
 // DynamicORPKW maintains an ORP-KW index under insertions and deletions via
@@ -30,6 +31,14 @@ type DynamicORPKW struct {
 	deleted    map[int64]struct{}
 	nextHandle int64
 	live       int
+
+	fam    family
+	tracer obs.Tracer
+	bopts  BuildOpts // construction options for bucket rebuilds
+
+	// Last values pushed to the shared structural gauges; the gauges are
+	// updated with deltas so several dynamic indexes aggregate coherently.
+	obsNumBuckets, obsLive, obsBuffered int
 }
 
 type dynEntry struct {
@@ -45,7 +54,7 @@ type dynBucket struct {
 // NewDynamicORPKW creates an empty dynamic index for k-keyword queries over
 // d-dimensional points. bufferCap tunes the unindexed write buffer
 // (0 selects 64).
-func NewDynamicORPKW(dim, k, bufferCap int) (*DynamicORPKW, error) {
+func NewDynamicORPKW(dim, k, bufferCap int, opts ...BuildOption) (*DynamicORPKW, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("core: k >= 2 required, got %d", k)
 	}
@@ -55,10 +64,28 @@ func NewDynamicORPKW(dim, k, bufferCap int) (*DynamicORPKW, error) {
 	if bufferCap <= 0 {
 		bufferCap = 64
 	}
+	o := resolveOpts(opts)
 	return &DynamicORPKW{
 		k: k, dim: dim, bufferCap: bufferCap,
 		deleted: make(map[int64]struct{}),
+		fam:     o.famFor(famDynamic), tracer: o.Tracer, bopts: o,
 	}, nil
+}
+
+// syncObs pushes structural deltas (bucket count, live objects, buffered
+// writes) to the shared gauges; called after every mutation.
+func (d *DynamicORPKW) syncObs() {
+	if d.fam == famNone {
+		return
+	}
+	nb := d.NumBuckets()
+	dynBuckets.Add(int64(nb - d.obsNumBuckets))
+	d.obsNumBuckets = nb
+	dynLive.Add(int64(d.live - d.obsLive))
+	d.obsLive = d.live
+	buf := len(d.buffer)
+	dynBuffered.Add(int64(buf - d.obsBuffered))
+	d.obsBuffered = buf
 }
 
 // Len returns the number of live objects.
@@ -80,11 +107,16 @@ func (d *DynamicORPKW) Insert(obj dataset.Object) (int64, error) {
 	cp := dataset.Object{Point: obj.Point.Clone(), Doc: append([]dataset.Keyword(nil), obj.Doc...)}
 	d.buffer = append(d.buffer, dynEntry{handle: h, obj: cp})
 	d.live++
+	if d.fam != famNone {
+		dynInserts.Inc()
+	}
 	if len(d.buffer) >= d.bufferCap {
 		if err := d.carry(); err != nil {
+			d.syncObs()
 			return 0, err
 		}
 	}
+	d.syncObs()
 	return h, nil
 }
 
@@ -102,6 +134,10 @@ func (d *DynamicORPKW) Delete(handle int64) (bool, error) {
 		if d.buffer[i].handle == handle {
 			d.buffer = append(d.buffer[:i], d.buffer[i+1:]...)
 			d.live--
+			if d.fam != famNone {
+				dynDeletes.Inc()
+			}
+			d.syncObs()
 			return true, nil
 		}
 	}
@@ -126,12 +162,17 @@ func (d *DynamicORPKW) Delete(handle int64) (bool, error) {
 	}
 	d.deleted[handle] = struct{}{}
 	d.live--
+	if d.fam != famNone {
+		dynDeletes.Inc()
+	}
 	// Rebuild when tombstones dominate.
 	if len(d.deleted) > d.live {
 		if err := d.rebuildAll(); err != nil {
+			d.syncObs()
 			return true, err
 		}
 	}
+	d.syncObs()
 	return true, nil
 }
 
@@ -139,6 +180,9 @@ func (d *DynamicORPKW) Delete(handle int64) (bool, error) {
 // (binary-counter style), purging tombstones, and installs the result at the
 // smallest slot whose capacity fits.
 func (d *DynamicORPKW) carry() error {
+	if d.fam != famNone {
+		dynCarries.Inc()
+	}
 	entries := d.takeBuffer()
 	slot := 0
 	for slot < len(d.buckets) && d.buckets[slot] != nil {
@@ -199,7 +243,9 @@ func (d *DynamicORPKW) install(entries []dynEntry, minSlot int) error {
 	if err != nil {
 		return err
 	}
-	ix, err := BuildORPKW(ds, d.k)
+	// Bucket indexes are internal parts: built untagged so a dynamic query
+	// is counted once, under the dynamic family.
+	ix, err := BuildORPKWWith(ds, d.k, d.bopts.inner())
 	if err != nil {
 		return err
 	}
@@ -209,6 +255,9 @@ func (d *DynamicORPKW) install(entries []dynEntry, minSlot int) error {
 
 // rebuildAll merges everything into a single static index.
 func (d *DynamicORPKW) rebuildAll() error {
+	if d.fam != famNone {
+		dynRebuilds.Inc()
+	}
 	var entries []dynEntry
 	entries = append(entries, d.takeBuffer()...)
 	for i, b := range d.buckets {
@@ -238,9 +287,13 @@ func (d *DynamicORPKW) Query(q *geom.Rect, ws []dataset.Keyword, report func(han
 // typed error. Limit suppresses reports past the cap and skips the remaining
 // buckets, though the bucket being scanned runs to completion.
 func (d *DynamicORPKW) QueryWith(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(handle int64, obj *dataset.Object)) (st QueryStats, err error) {
+	qt := obsBegin(d.fam, "Query", d.tracer)
 	defer func() {
 		if r := recover(); r != nil {
 			err = newPanicError("DynamicORPKW.Query", r, echoRegion(q, ws))
+		}
+		if obsEnd(d.fam, qt, &st, err, d.tracer) {
+			obsSpan(d.fam, "Query", echoRegion(q, ws), d.k, qt, &st, err, d.tracer)
 		}
 	}()
 	if len(ws) != d.k {

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"kwsc/internal/obs"
+)
+
+// family identifies which index family a public entry point belongs to in
+// the metrics registry. famNone means "not observed": composite indexes
+// (RRKW over ORPKW, NN probes over ORPKW, dynamic buckets, planner routes,
+// MultiK per-arity indexes) build their inner indexes untagged so each user
+// query is counted exactly once, at the entry point the caller invoked.
+type family uint8
+
+const (
+	famNone family = iota
+	famORPKW
+	famORPKWHigh
+	famRRKW
+	famLCKW
+	famSRPKW
+	famLinfNN
+	famL2NN
+	famKSI
+	famDynamic
+	famMultiK
+	famPlanner
+	famCount
+)
+
+// famNames are the `family` label values in exported series.
+var famNames = [famCount]string{
+	famORPKW:     "orpkw",
+	famORPKWHigh: "orpkw_high",
+	famRRKW:      "rrkw",
+	famLCKW:      "lckw",
+	famSRPKW:     "srpkw",
+	famLinfNN:    "linf_nn",
+	famL2NN:      "l2_nn",
+	famKSI:       "ksi",
+	famDynamic:   "dynamic",
+	famMultiK:    "multik",
+	famPlanner:   "planner",
+}
+
+// famMeter holds one family's pre-resolved metric pointers. Resolution
+// happens once at package init; per-query updates are atomic increments on
+// these pointers and never touch the registry's name map.
+type famMeter struct {
+	queries     *obs.Counter
+	errInvalid  *obs.Counter
+	errDeadline *obs.Counter
+	errBudget   *obs.Counter
+	errCanceled *obs.Counter
+	errPanic    *obs.Counter
+	latencyNs   *obs.Histogram
+	ops         *obs.Histogram
+	nodes       *obs.Histogram
+	builds      *obs.Counter
+	buildNs     *obs.Histogram
+}
+
+var meters [famCount]famMeter
+
+func init() {
+	reg := obs.Default()
+	for f := famNone + 1; f < famCount; f++ {
+		n := famNames[f]
+		lab := `{family="` + n + `"}`
+		errLab := func(code string) string {
+			return `kwsc_query_errors_total{family="` + n + `",code="` + code + `"}`
+		}
+		meters[f] = famMeter{
+			queries:     reg.Counter("kwsc_queries_total" + lab),
+			errInvalid:  reg.Counter(errLab("invalid")),
+			errDeadline: reg.Counter(errLab("deadline")),
+			errBudget:   reg.Counter(errLab("budget")),
+			errCanceled: reg.Counter(errLab("canceled")),
+			errPanic:    reg.Counter(errLab("panic")),
+			latencyNs:   reg.Histogram("kwsc_query_latency_ns" + lab),
+			ops:         reg.Histogram("kwsc_query_ops" + lab),
+			nodes:       reg.Histogram("kwsc_query_nodes" + lab),
+			builds:      reg.Counter("kwsc_builds_total" + lab),
+			buildNs:     reg.Histogram("kwsc_build_ns" + lab),
+		}
+	}
+}
+
+// Cross-family metrics: dynamic-index churn (Bentley–Saxe health), batch
+// throughput, planner route decisions, degraded-mode fallbacks. Gauges are
+// updated with deltas so several indexes share them coherently as fleet
+// totals.
+var (
+	dynInserts  = obs.Default().Counter("kwsc_dynamic_inserts_total")
+	dynDeletes  = obs.Default().Counter("kwsc_dynamic_deletes_total")
+	dynCarries  = obs.Default().Counter("kwsc_dynamic_carries_total")
+	dynRebuilds = obs.Default().Counter("kwsc_dynamic_rebuilds_total")
+	dynBuckets  = obs.Default().Gauge("kwsc_dynamic_buckets")
+	dynLive     = obs.Default().Gauge("kwsc_dynamic_live_objects")
+	dynBuffered = obs.Default().Gauge("kwsc_dynamic_buffered")
+
+	batchRuns    = obs.Default().Counter("kwsc_batch_runs_total")
+	batchQueries = obs.Default().Counter("kwsc_batch_queries_total")
+
+	routeFrameworkHits  = obs.Default().Counter(`kwsc_planner_route_total{route="framework"}`)
+	routeKeywordsHits   = obs.Default().Counter(`kwsc_planner_route_total{route="keywords-only"}`)
+	routeStructuredHits = obs.Default().Counter(`kwsc_planner_route_total{route="structured-only"}`)
+)
+
+// errCounter maps a typed query error to its per-family counter (nil for
+// success or unclassified errors; those still count in queries).
+func (m *famMeter) errCounter(err error) *obs.Counter {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrInvalidQuery):
+		return m.errInvalid
+	case errors.Is(err, ErrDeadline):
+		return m.errDeadline
+	case errors.Is(err, ErrBudget):
+		return m.errBudget
+	case errors.Is(err, ErrCanceled):
+		return m.errCanceled
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return m.errPanic
+	}
+	return nil
+}
+
+// outcomeOf classifies an error for span reporting.
+func outcomeOf(err error) obs.Outcome {
+	switch {
+	case err == nil:
+		return obs.OutcomeOK
+	case errors.Is(err, ErrInvalidQuery):
+		return obs.OutcomeInvalid
+	case errors.Is(err, ErrDeadline):
+		return obs.OutcomeDeadline
+	case errors.Is(err, ErrBudget):
+		return obs.OutcomeBudget
+	case errors.Is(err, ErrCanceled):
+		return obs.OutcomeCanceled
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return obs.OutcomePanic
+	}
+	return obs.OutcomeError
+}
+
+// obsBegin marks entry into an instrumented query method: it fires tracer
+// Begin hooks and returns the start time, or the zero Time when nothing is
+// observing this index (untagged family, or metrics/tracing/slow-log all
+// off). The zero return short-circuits obsEnd, so a disarmed query pays one
+// atomic load and no clock read.
+func obsBegin(fam family, op string, local obs.Tracer) time.Time {
+	if fam == famNone || (local == nil && !obs.Armed()) {
+		return time.Time{}
+	}
+	if local != nil {
+		local.Begin(famNames[fam], op)
+	}
+	if g := obs.ActiveTracer(); g != nil {
+		g.Begin(famNames[fam], op)
+	}
+	return time.Now()
+}
+
+// obsEnd records a finished query into the registry — atomics only, no
+// allocation — and reports whether the caller must also emit a span (a
+// tracer is installed or the slow log would admit this query). Span
+// emission is separate so the query echo is only formatted off the
+// metrics-only hot path.
+func obsEnd(fam family, start time.Time, st *QueryStats, err error, local obs.Tracer) bool {
+	if start.IsZero() {
+		return false
+	}
+	if obs.MetricsEnabled() {
+		m := &meters[fam]
+		m.queries.Inc()
+		if c := m.errCounter(err); c != nil {
+			c.Inc()
+		}
+		m.latencyNs.Observe(int64(time.Since(start)))
+		m.ops.Observe(st.Ops)
+		m.nodes.Observe(int64(st.NodesVisited))
+	}
+	return local != nil || obs.ActiveTracer() != nil || obs.SlowAdmits(st.Ops)
+}
+
+// obsSpan builds and emits the end-of-query span to the per-index tracer,
+// the global tracer, and the slow-query log. Callers invoke it only when
+// obsEnd returned true; echo is the human-readable query (echoRegion-style),
+// formatted by the caller at that point and not before.
+func obsSpan(fam family, op, echo string, k int, start time.Time, st *QueryStats, err error, local obs.Tracer) {
+	sp := obs.Span{
+		Family:  famNames[fam],
+		Op:      op,
+		Query:   echo,
+		K:       k,
+		Out:     st.Reported,
+		Ops:     st.Ops,
+		Nodes:   st.NodesVisited,
+		Elapsed: time.Since(start),
+		Outcome: outcomeOf(err),
+		Err:     err,
+	}
+	emitSpan(sp, local)
+}
+
+// emitSpan delivers a completed span (also used directly by the planner,
+// which attaches route and estimate fields).
+func emitSpan(sp obs.Span, local obs.Tracer) {
+	if local != nil {
+		local.End(sp)
+	}
+	if g := obs.ActiveTracer(); g != nil {
+		g.End(sp)
+	}
+	if obs.SlowAdmits(sp.Ops) {
+		obs.RecordSlow(obs.SlowEntry{
+			Family:  sp.Family,
+			Op:      sp.Op,
+			Query:   sp.Query,
+			Ops:     sp.Ops,
+			Nodes:   sp.Nodes,
+			Elapsed: sp.Elapsed,
+			Outcome: sp.Outcome,
+		})
+	}
+}
+
+// obsBuildStart/obsBuildEnd time index construction. Composite indexes
+// build their inner structures with NoObs, so each user-visible Build call
+// is counted once under the family the caller asked for.
+func obsBuildStart() time.Time {
+	if !obs.MetricsEnabled() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func obsBuildEnd(fam family, start time.Time) {
+	if fam == famNone || start.IsZero() || !obs.MetricsEnabled() {
+		return
+	}
+	m := &meters[fam]
+	m.builds.Inc()
+	m.buildNs.Observe(int64(time.Since(start)))
+}

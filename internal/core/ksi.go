@@ -5,6 +5,7 @@ import (
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
+	"kwsc/internal/obs"
 )
 
 // KSI is the k-set-intersection index of Section 1.2: pure keyword search as
@@ -16,15 +17,18 @@ import (
 type KSI struct {
 	ds *dataset.Dataset
 	fw *Framework
+
+	fam    family
+	tracer obs.Tracer
 }
 
 // BuildKSI indexes the sets S_0..S_{m-1}: sets[i] lists the elements of set
 // i, with elements drawn from any integer universe. Following the reduction
 // of Section 1.2, the object universe is the union of the sets and object
 // e's document is {i : e in S_i}.
-func BuildKSI(sets [][]int64, k int) (*KSI, error) {
+func BuildKSI(sets [][]int64, k int, opts ...BuildOption) (*KSI, error) {
 	if len(sets) < 2 {
-		return nil, fmt.Errorf("core: k-SI needs at least 2 sets, got %d", len(sets))
+		return nil, fmt.Errorf("%w: k-SI needs at least 2 sets, got %d", ErrInvalidDataset, len(sets))
 	}
 	docs := make(map[int64][]dataset.Keyword)
 	for i, s := range sets {
@@ -46,33 +50,50 @@ func BuildKSI(sets [][]int64, k int) (*KSI, error) {
 	if err != nil {
 		return nil, err
 	}
-	return BuildKSIFromDataset(ds, k)
+	return BuildKSIFromDataset(ds, k, opts...)
 }
 
 // BuildKSIFromDataset treats an existing dataset's documents as the sets
 // (keyword w's set S_w is the objects containing w) and indexes pure keyword
 // search over them.
-func BuildKSIFromDataset(ds *dataset.Dataset, k int) (*KSI, error) {
-	orp, err := BuildORPKW(ds, k)
+func BuildKSIFromDataset(ds *dataset.Dataset, k int, opts ...BuildOption) (*KSI, error) {
+	o := resolveOpts(opts)
+	bt := obsBuildStart()
+	// The ORP-KW instance is the reduction's vehicle: untagged, so k-SI
+	// queries are counted under the ksi family only.
+	orp, err := BuildORPKWWith(ds, k, o.inner())
 	if err != nil {
 		return nil, err
 	}
-	return &KSI{ds: ds, fw: orp.Framework()}, nil
+	ix := &KSI{ds: ds, fw: orp.Framework(), fam: o.famFor(famKSI), tracer: o.Tracer}
+	obsBuildEnd(ix.fam, bt)
+	return ix, nil
 }
 
 // Report answers a k-SI reporting query: the ids of the objects carrying all
 // k keywords (equivalently, the intersection of the k sets).
-func (ix *KSI) Report(ws []dataset.Keyword, opts QueryOpts) ([]int32, QueryStats, error) {
-	var out []int32
-	st, err := ix.fw.Query(geom.FullSpace{}, ws, opts, func(id int32) { out = append(out, id) })
+func (ix *KSI) Report(ws []dataset.Keyword, opts QueryOpts) (out []int32, st QueryStats, err error) {
+	qt := obsBegin(ix.fam, "Report", ix.tracer)
+	defer func() {
+		if obsEnd(ix.fam, qt, &st, err, ix.tracer) {
+			obsSpan(ix.fam, "Report", echoQuery("k-SI", ws), ix.fw.K(), qt, &st, err, ix.tracer)
+		}
+	}()
+	st, err = ix.fw.Query(geom.FullSpace{}, ws, opts, func(id int32) { out = append(out, id) })
 	return out, st, err
 }
 
 // Empty answers a k-SI emptiness query by running a budgeted reporting
 // query: per Section 1.2 (footnote 4), if the reporting query exceeds its
 // O(N^{1-1/k}) budget without finishing, the intersection must be non-empty.
-func (ix *KSI) Empty(ws []dataset.Keyword) (bool, QueryStats, error) {
-	st, err := ix.fw.Query(geom.FullSpace{}, ws, QueryOpts{Limit: 1}, func(int32) {})
+func (ix *KSI) Empty(ws []dataset.Keyword) (empty bool, st QueryStats, err error) {
+	qt := obsBegin(ix.fam, "Empty", ix.tracer)
+	defer func() {
+		if obsEnd(ix.fam, qt, &st, err, ix.tracer) {
+			obsSpan(ix.fam, "Empty", echoQuery("k-SI", ws), ix.fw.K(), qt, &st, err, ix.tracer)
+		}
+	}()
+	st, err = ix.fw.Query(geom.FullSpace{}, ws, QueryOpts{Limit: 1}, func(int32) {})
 	return st.Reported == 0, st, err
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
+	"kwsc/internal/obs"
 )
 
 // MultiK removes the paper's fixed-arity restriction for the flagship
@@ -20,24 +21,37 @@ type MultiK struct {
 	byArity map[int]rectQuerier
 	single  map[dataset.Keyword][]int32
 	kMax    int
+
+	fam    family
+	tracer obs.Tracer
 }
 
 // BuildMultiK constructs indexes for every arity in [2, kMax].
-func BuildMultiK(ds *dataset.Dataset, kMax int) (*MultiK, error) {
+func BuildMultiK(ds *dataset.Dataset, kMax int, opts ...BuildOption) (*MultiK, error) {
 	if kMax < 2 {
 		return nil, fmt.Errorf("core: kMax >= 2 required, got %d", kMax)
 	}
 	if kMax > 8 {
 		return nil, fmt.Errorf("core: kMax %d unreasonably large (tensor space grows with arity)", kMax)
 	}
-	m := &MultiK{ds: ds, byArity: make(map[int]rectQuerier, kMax-1), kMax: kMax}
+	if err := checkDataset(ds); err != nil {
+		return nil, err
+	}
+	o := resolveOpts(opts)
+	bt := obsBuildStart()
+	m := &MultiK{
+		ds: ds, byArity: make(map[int]rectQuerier, kMax-1), kMax: kMax,
+		fam: o.famFor(famMultiK), tracer: o.Tracer,
+	}
 	for k := 2; k <= kMax; k++ {
 		var ix rectQuerier
 		var err error
+		// Per-arity indexes are routing targets, not user-visible indexes:
+		// untagged, so each multi-k query is counted once under multik.
 		if ds.Dim() <= 2 {
-			ix, err = BuildORPKW(ds, k)
+			ix, err = BuildORPKWWith(ds, k, o.inner())
 		} else {
-			ix, err = BuildORPKWHigh(ds, k)
+			ix, err = BuildORPKWHighWith(ds, k, o.inner())
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: building arity-%d index: %w", k, err)
@@ -51,6 +65,7 @@ func BuildMultiK(ds *dataset.Dataset, kMax int) (*MultiK, error) {
 			m.single[w] = append(m.single[w], int32(i))
 		}
 	}
+	obsBuildEnd(m.fam, bt)
 	return m, nil
 }
 
@@ -59,9 +74,13 @@ func (m *MultiK) KMax() int { return m.kMax }
 
 // Query answers a rectangle query with any number of keywords in [1, KMax].
 func (m *MultiK) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (st QueryStats, err error) {
+	qt := obsBegin(m.fam, "Query", m.tracer)
 	defer func() {
 		if r := recover(); r != nil {
 			err = newPanicError("MultiK.Query", r, echoRegion(q, ws))
+		}
+		if obsEnd(m.fam, qt, &st, err, m.tracer) {
+			obsSpan(m.fam, "Query", echoRegion(q, ws), len(ws), qt, &st, err, m.tracer)
 		}
 	}()
 	if e := validateRect(q, m.ds.Dim()); e != nil {

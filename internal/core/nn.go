@@ -7,6 +7,7 @@ import (
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
+	"kwsc/internal/obs"
 )
 
 // rectQuerier is the ORP-KW capability both nearest-neighbor searches build
@@ -22,10 +23,12 @@ type NNResult struct {
 }
 
 // NNStats aggregates the instrumentation of all probe queries issued by one
-// nearest-neighbor search.
+// nearest-neighbor search: the embedded QueryStats sums the stats of every
+// probe, so NN searches report work the same way the rest of the catalog
+// does (st.Ops, st.NodesVisited, ...).
 type NNStats struct {
-	Probes int        // range queries issued (the paper's O(log N) factor)
-	Inner  QueryStats // summed stats of those queries
+	Probes int // range queries issued (the paper's O(log N) factor)
+	QueryStats
 }
 
 // LinfNN is the L∞-nearest-neighbor-with-keywords index of Corollary 4: an
@@ -38,26 +41,35 @@ type LinfNN struct {
 	base   rectQuerier
 	sorted [][]float64
 	dim, k int
+
+	fam    family
+	tracer obs.Tracer
 }
 
 // BuildLinfNN constructs the index for k-keyword queries.
-func BuildLinfNN(ds *dataset.Dataset, k int) (*LinfNN, error) {
-	return BuildLinfNNWith(ds, k, BuildOpts{})
+func BuildLinfNN(ds *dataset.Dataset, k int, opts ...BuildOption) (*LinfNN, error) {
+	return BuildLinfNNWith(ds, k, resolveOpts(opts))
 }
 
-// BuildLinfNNWith is BuildLinfNN with explicit construction options.
+// BuildLinfNNWith is BuildLinfNN with an explicit options struct.
 func BuildLinfNNWith(ds *dataset.Dataset, k int, opts BuildOpts) (*LinfNN, error) {
+	if err := checkDataset(ds); err != nil {
+		return nil, err
+	}
+	bt := obsBuildStart()
 	var base rectQuerier
 	var err error
+	// The probe index is internal: built untagged so a search counts as one
+	// linf_nn query, not O(log N) orpkw queries.
 	if ds.Dim() <= 2 {
-		base, err = BuildORPKWWith(ds, k, opts)
+		base, err = BuildORPKWWith(ds, k, opts.inner())
 	} else {
-		base, err = BuildORPKWHighWith(ds, k, opts)
+		base, err = BuildORPKWHighWith(ds, k, opts.inner())
 	}
 	if err != nil {
 		return nil, err
 	}
-	ix := &LinfNN{ds: ds, base: base, dim: ds.Dim(), k: k}
+	ix := &LinfNN{ds: ds, base: base, dim: ds.Dim(), k: k, fam: opts.famFor(famLinfNN), tracer: opts.Tracer}
 	ix.sorted = make([][]float64, ix.dim)
 	for j := 0; j < ix.dim; j++ {
 		c := make([]float64, ds.Len())
@@ -67,6 +79,7 @@ func BuildLinfNNWith(ds *dataset.Dataset, k int, opts BuildOpts) (*LinfNN, error
 		sort.Float64s(c)
 		ix.sorted[j] = c
 	}
+	obsBuildEnd(ix.fam, bt)
 	return ix, nil
 }
 
@@ -160,18 +173,19 @@ func (ix *LinfNN) kthCandidate(q geom.Point, i int64, maxR float64) float64 {
 
 // Query returns up to t objects of D(w1..wk) nearest to q under the L∞
 // distance, sorted by distance (fewer when D(w1..wk) itself is smaller).
-func (ix *LinfNN) Query(q geom.Point, t int, ws []dataset.Keyword) ([]NNResult, NNStats, error) {
-	return ix.QueryWith(q, t, ws, ExecPolicy{})
-}
-
-// QueryWith is Query under an execution policy: the deadline, node budget
-// and cancellation channel are shared across every range probe the search
-// issues, so a policy violation ends the whole search with a typed error
-// and NNStats describing the work done so far.
-func (ix *LinfNN) QueryWith(q geom.Point, t int, ws []dataset.Keyword, pol ExecPolicy) (res []NNResult, ns NNStats, err error) {
+// opts applies to the whole search: the policy's deadline, node budget and
+// cancellation channel are shared across every range probe, so a policy
+// violation ends the search with a typed error and NNStats describing the
+// work done so far; Limit additionally caps t; Budget bounds each
+// individual probe.
+func (ix *LinfNN) Query(q geom.Point, t int, ws []dataset.Keyword, opts QueryOpts) (res []NNResult, ns NNStats, err error) {
+	qt := obsBegin(ix.fam, "Query", ix.tracer)
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, newPanicError("LinfNN.Query", r, echoPoint(q, t, ws))
+		}
+		if obsEnd(ix.fam, qt, &ns.QueryStats, err, ix.tracer) {
+			obsSpan(ix.fam, "Query", echoPoint(q, t, ws), ix.k, qt, &ns.QueryStats, err, ix.tracer)
 		}
 	}()
 	if err := validatePoint(q, ix.dim); err != nil {
@@ -183,14 +197,18 @@ func (ix *LinfNN) QueryWith(q geom.Point, t int, ws []dataset.Keyword, pol ExecP
 	if err := dataset.ValidateKeywords(ws); err != nil {
 		return nil, NNStats{}, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
 	}
-	pol = (QueryOpts{Policy: pol}).normalized().Policy
+	opts = opts.normalized()
+	pol := opts.Policy
+	if opts.Limit > 0 && opts.Limit < t {
+		t = opts.Limit
+	}
 	ball := &geom.Rect{Lo: make([]float64, ix.dim), Hi: make([]float64, ix.dim)}
 	atLeastT := func(r float64) (bool, error) {
 		failpoint(FPNNProbe)
 		ns.Probes++
 		st, err := ix.base.Query(linfBallInto(ball, q, r), ws,
-			QueryOpts{Limit: t, Policy: pol.shrunk(int64(ns.Inner.NodesVisited))}, func(int32) {})
-		ns.Inner.add(st)
+			QueryOpts{Limit: t, Budget: opts.Budget, Policy: pol.shrunk(int64(ns.NodesVisited))}, func(int32) {})
+		ns.QueryStats.add(st)
 		return st.Reported >= t, err
 	}
 	// Maximum candidate radius: the farthest coordinate difference.
@@ -233,10 +251,10 @@ func (ix *LinfNN) QueryWith(q geom.Point, t int, ws []dataset.Keyword, pol ExecP
 	// arbitrarily, as the problem statement allows.
 	ns.Probes++
 	st, err := ix.base.Query(linfBallInto(ball, q, rStar), ws,
-		QueryOpts{Policy: pol.shrunk(int64(ns.Inner.NodesVisited))}, func(id int32) {
+		QueryOpts{Budget: opts.Budget, Policy: pol.shrunk(int64(ns.NodesVisited))}, func(id int32) {
 			res = append(res, NNResult{ID: id, Dist: q.LInf(ix.ds.Point(id))})
 		})
-	ns.Inner.add(st)
+	ns.QueryStats.add(st)
 	if err != nil {
 		return res, ns, err
 	}
@@ -252,6 +270,14 @@ func (ix *LinfNN) QueryWith(q geom.Point, t int, ws []dataset.Keyword, pol ExecP
 	return res, ns, nil
 }
 
+// QueryWith runs Query under an execution policy.
+//
+// Deprecated: use Query with QueryOpts{Policy: pol}; it is the same search
+// with the catalog-wide options signature.
+func (ix *LinfNN) QueryWith(q geom.Point, t int, ws []dataset.Keyword, pol ExecPolicy) ([]NNResult, NNStats, error) {
+	return ix.Query(q, t, ws, QueryOpts{Policy: pol})
+}
+
 // L2NN is the L2-nearest-neighbor-with-keywords index of Corollary 7 for
 // integer coordinates: the lifted SRP-KW index plus binary search over the
 // O(N^{O(1)}) candidate squared radii — integers, so O(log N) probes with
@@ -261,16 +287,23 @@ type L2NN struct {
 	srp        *SRPKW
 	dim, k     int
 	bbLo, bbHi []float64
+
+	fam    family
+	tracer obs.Tracer
 }
 
 // BuildL2NN constructs the index; every coordinate must be integral (the
 // problem fixes D in N^d, the O(log N)-bit integers).
-func BuildL2NN(ds *dataset.Dataset, k int) (*L2NN, error) {
-	return BuildL2NNWith(ds, k, BuildOpts{})
+func BuildL2NN(ds *dataset.Dataset, k int, opts ...BuildOption) (*L2NN, error) {
+	return BuildL2NNWith(ds, k, resolveOpts(opts))
 }
 
-// BuildL2NNWith is BuildL2NN with explicit construction options.
+// BuildL2NNWith is BuildL2NN with an explicit options struct.
 func BuildL2NNWith(ds *dataset.Dataset, k int, opts BuildOpts) (*L2NN, error) {
+	if err := checkDataset(ds); err != nil {
+		return nil, err
+	}
+	bt := obsBuildStart()
 	for i := 0; i < ds.Len(); i++ {
 		for j, c := range ds.Point(int32(i)) {
 			if c != math.Trunc(c) {
@@ -278,11 +311,11 @@ func BuildL2NNWith(ds *dataset.Dataset, k int, opts BuildOpts) (*L2NN, error) {
 			}
 		}
 	}
-	srp, err := BuildSRPKWWith(ds, k, opts)
+	srp, err := BuildSRPKWWith(ds, k, opts.inner())
 	if err != nil {
 		return nil, err
 	}
-	ix := &L2NN{ds: ds, srp: srp, dim: ds.Dim(), k: k}
+	ix := &L2NN{ds: ds, srp: srp, dim: ds.Dim(), k: k, fam: opts.famFor(famL2NN), tracer: opts.Tracer}
 	ix.bbLo = make([]float64, ix.dim)
 	ix.bbHi = make([]float64, ix.dim)
 	copy(ix.bbLo, ds.Point(0))
@@ -298,21 +331,21 @@ func BuildL2NNWith(ds *dataset.Dataset, k int, opts BuildOpts) (*L2NN, error) {
 			}
 		}
 	}
+	obsBuildEnd(ix.fam, bt)
 	return ix, nil
 }
 
 // Query returns up to t objects of D(w1..wk) nearest to q under L2 distance,
-// sorted by distance. q must have integer coordinates.
-func (ix *L2NN) Query(q geom.Point, t int, ws []dataset.Keyword) ([]NNResult, NNStats, error) {
-	return ix.QueryWith(q, t, ws, ExecPolicy{})
-}
-
-// QueryWith is Query under an execution policy shared across every probe
-// (see LinfNN.QueryWith).
-func (ix *L2NN) QueryWith(q geom.Point, t int, ws []dataset.Keyword, pol ExecPolicy) (res []NNResult, ns NNStats, err error) {
+// sorted by distance. q must have integer coordinates. opts applies to the
+// whole search (see LinfNN.Query).
+func (ix *L2NN) Query(q geom.Point, t int, ws []dataset.Keyword, opts QueryOpts) (res []NNResult, ns NNStats, err error) {
+	qt := obsBegin(ix.fam, "Query", ix.tracer)
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, newPanicError("L2NN.Query", r, echoPoint(q, t, ws))
+		}
+		if obsEnd(ix.fam, qt, &ns.QueryStats, err, ix.tracer) {
+			obsSpan(ix.fam, "Query", echoPoint(q, t, ws), ix.k, qt, &ns.QueryStats, err, ix.tracer)
 		}
 	}()
 	if err := validatePoint(q, ix.dim); err != nil {
@@ -324,13 +357,17 @@ func (ix *L2NN) QueryWith(q geom.Point, t int, ws []dataset.Keyword, pol ExecPol
 	if err := dataset.ValidateKeywords(ws); err != nil {
 		return nil, NNStats{}, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
 	}
-	pol = (QueryOpts{Policy: pol}).normalized().Policy
+	opts = opts.normalized()
+	pol := opts.Policy
+	if opts.Limit > 0 && opts.Limit < t {
+		t = opts.Limit
+	}
 	atLeastT := func(r2 int64) (bool, error) {
 		failpoint(FPNNProbe)
 		ns.Probes++
 		st, err := ix.srp.QuerySq(q, float64(r2), ws,
-			QueryOpts{Limit: t, Policy: pol.shrunk(int64(ns.Inner.NodesVisited))}, func(int32) {})
-		ns.Inner.add(st)
+			QueryOpts{Limit: t, Budget: opts.Budget, Policy: pol.shrunk(int64(ns.NodesVisited))}, func(int32) {})
+		ns.QueryStats.add(st)
 		return st.Reported >= t, err
 	}
 	var maxR2 int64
@@ -361,10 +398,10 @@ func (ix *L2NN) QueryWith(q geom.Point, t int, ws []dataset.Keyword, pol ExecPol
 	}
 	ns.Probes++
 	st, err := ix.srp.QuerySq(q, float64(r2Star), ws,
-		QueryOpts{Policy: pol.shrunk(int64(ns.Inner.NodesVisited))}, func(id int32) {
+		QueryOpts{Budget: opts.Budget, Policy: pol.shrunk(int64(ns.NodesVisited))}, func(id int32) {
 			res = append(res, NNResult{ID: id, Dist: q.L2(ix.ds.Point(id))})
 		})
-	ns.Inner.add(st)
+	ns.QueryStats.add(st)
 	if err != nil {
 		return res, ns, err
 	}
@@ -378,6 +415,14 @@ func (ix *L2NN) QueryWith(q geom.Point, t int, ws []dataset.Keyword, pol ExecPol
 		res = res[:t]
 	}
 	return res, ns, nil
+}
+
+// QueryWith runs Query under an execution policy.
+//
+// Deprecated: use Query with QueryOpts{Policy: pol}; it is the same search
+// with the catalog-wide options signature.
+func (ix *L2NN) QueryWith(q geom.Point, t int, ws []dataset.Keyword, pol ExecPolicy) ([]NNResult, NNStats, error) {
+	return ix.Query(q, t, ws, QueryOpts{Policy: pol})
 }
 
 // Space returns the analytic space audit of the underlying SRP-KW index.

@@ -103,7 +103,7 @@ func TestLinfNNWantsMoreThanExists(t *testing.T) {
 		t.Fatal(err)
 	}
 	match := ds.Filter(geom.FullSpace{}, []uint32{0, 1})
-	res, _, err := ix.Query(geom.Point{0.5, 0.5}, len(match)+50, []uint32{0, 1})
+	res, _, err := ix.Query(geom.Point{0.5, 0.5}, len(match)+50, []uint32{0, 1}, QueryOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,13 +119,13 @@ func TestNNValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := linf.Query(geom.Point{0.5, 0.5}, 0, []uint32{0, 1}); err == nil {
+	if _, _, err := linf.Query(geom.Point{0.5, 0.5}, 0, []uint32{0, 1}, QueryOpts{}); err == nil {
 		t.Fatal("t=0 must be rejected")
 	}
-	if _, _, err := linf.Query(geom.Point{0.5}, 1, []uint32{0, 1}); err == nil {
+	if _, _, err := linf.Query(geom.Point{0.5}, 1, []uint32{0, 1}, QueryOpts{}); err == nil {
 		t.Fatal("wrong dimension must be rejected")
 	}
-	if _, _, err := linf.Query(geom.Point{0.5, 0.5}, 1, []uint32{0}); err == nil {
+	if _, _, err := linf.Query(geom.Point{0.5, 0.5}, 1, []uint32{0}, QueryOpts{}); err == nil {
 		t.Fatal("wrong arity must be rejected")
 	}
 	gds := workload.Gen(workload.Config{Seed: 6, Objects: 50, Dim: 2, Vocab: 6, DocLen: 3, Points: "grid", GridSide: 100})
@@ -133,10 +133,10 @@ func TestNNValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := l2.Query(geom.Point{1, 1}, 0, []uint32{0, 1}); err == nil {
+	if _, _, err := l2.Query(geom.Point{1, 1}, 0, []uint32{0, 1}, QueryOpts{}); err == nil {
 		t.Fatal("t=0 must be rejected")
 	}
-	if _, _, err := l2.Query(geom.Point{1}, 1, []uint32{0, 1}); err == nil {
+	if _, _, err := l2.Query(geom.Point{1}, 1, []uint32{0, 1}, QueryOpts{}); err == nil {
 		t.Fatal("wrong dimension must be rejected")
 	}
 	// Non-integer coordinates rejected at build.

@@ -5,6 +5,7 @@ import (
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
+	"kwsc/internal/obs"
 	"kwsc/internal/spart"
 )
 
@@ -19,20 +20,26 @@ type ORPKW struct {
 	rs *dataset.RankSpace
 	fw *Framework
 
+	fam    family     // metrics family (famNone when built with NoObs)
+	tracer obs.Tracer // per-index tracer, may be nil
+
 	// rqPool recycles rank-space query rectangles so the steady-state query
 	// path allocates nothing; entries never leave this index's methods.
 	rqPool sync.Pool
 }
 
-// BuildORPKW constructs the index for queries carrying exactly k keywords,
-// using every core (BuildOpts zero value).
-func BuildORPKW(ds *dataset.Dataset, k int) (*ORPKW, error) {
-	return BuildORPKWWith(ds, k, BuildOpts{})
+// BuildORPKW constructs the index for queries carrying exactly k keywords.
+func BuildORPKW(ds *dataset.Dataset, k int, opts ...BuildOption) (*ORPKW, error) {
+	return BuildORPKWWith(ds, k, resolveOpts(opts))
 }
 
-// BuildORPKWWith is BuildORPKW with explicit construction options. Parallel
+// BuildORPKWWith is BuildORPKW with an explicit options struct. Parallel
 // and sequential builds answer every query identically.
 func BuildORPKWWith(ds *dataset.Dataset, k int, opts BuildOpts) (*ORPKW, error) {
+	if err := checkDataset(ds); err != nil {
+		return nil, err
+	}
+	bt := obsBuildStart()
 	rs := dataset.NewRankSpace(ds)
 	pts := make([]geom.Point, ds.Len())
 	for i := range pts {
@@ -47,8 +54,9 @@ func BuildORPKWWith(ds *dataset.Dataset, k int, opts BuildOpts) (*ORPKW, error) 
 	if err != nil {
 		return nil, err
 	}
-	ix := &ORPKW{ds: ds, rs: rs, fw: fw}
+	ix := &ORPKW{ds: ds, rs: rs, fw: fw, fam: opts.famFor(famORPKW), tracer: opts.Tracer}
 	ix.fw.space.AuxWords += rs.SpaceWords()
+	obsBuildEnd(ix.fam, bt)
 	return ix, nil
 }
 
@@ -63,9 +71,13 @@ func (ix *ORPKW) getRankRect() *geom.Rect {
 // Query reports every object in q whose document contains all keywords,
 // converting q to rank space in O(log N) first.
 func (ix *ORPKW) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (st QueryStats, err error) {
+	qt := obsBegin(ix.fam, "Query", ix.tracer)
 	defer func() {
 		if r := recover(); r != nil {
 			err = newPanicError("ORPKW.Query", r, echoRegion(q, ws))
+		}
+		if obsEnd(ix.fam, qt, &st, err, ix.tracer) {
+			obsSpan(ix.fam, "Query", echoRegion(q, ws), ix.fw.K(), qt, &st, err, ix.tracer)
 		}
 	}()
 	if err := validateRect(q, ix.ds.Dim()); err != nil {
@@ -92,9 +104,13 @@ func (ix *ORPKW) Collect(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts) ([]
 // warmed buffer the query path performs zero heap allocations; the returned
 // slice aliases buf only, so the caller owns the result.
 func (ix *ORPKW) CollectInto(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, buf []int32) (out []int32, st QueryStats, err error) {
+	qt := obsBegin(ix.fam, "CollectInto", ix.tracer)
 	defer func() {
 		if r := recover(); r != nil {
 			out, err = nil, newPanicError("ORPKW.CollectInto", r, echoRegion(q, ws))
+		}
+		if obsEnd(ix.fam, qt, &st, err, ix.tracer) {
+			obsSpan(ix.fam, "CollectInto", echoRegion(q, ws), ix.fw.K(), qt, &st, err, ix.tracer)
 		}
 	}()
 	if err := validateRect(q, ix.ds.Dim()); err != nil {

@@ -1,10 +1,14 @@
 package core
 
-import "runtime"
+import (
+	"runtime"
 
-// BuildOpts tunes index construction across the whole suite. Every
-// constructor has a ...With variant accepting it; the plain constructors use
-// the zero value, which selects full parallelism.
+	"kwsc/internal/obs"
+)
+
+// BuildOpts tunes index construction across the whole suite. The variadic
+// builders accept functional BuildOptions (see options.go); the Build*With
+// forms accept this struct directly and remain for compatibility.
 type BuildOpts struct {
 	// Parallelism caps the number of goroutines a build may use: <= 0
 	// selects runtime.GOMAXPROCS(0), 1 forces a fully sequential build.
@@ -12,6 +16,15 @@ type BuildOpts struct {
 	// answer every query identically (the recursion splits the object set
 	// the same way; only which goroutine builds which subtree differs).
 	Parallelism int
+
+	// Tracer, when non-nil, receives a span for every query this index
+	// answers, in addition to the process-wide tracer (obs.SetTracer).
+	Tracer obs.Tracer
+
+	// NoObs excludes the index from the metrics registry and tracing.
+	// Composite indexes set it on their inner structures so each user query
+	// is observed exactly once.
+	NoObs bool
 }
 
 // parallelCutoff is the subtree size (in objects) below which construction

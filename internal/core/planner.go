@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
 	"kwsc/internal/invidx"
+	"kwsc/internal/obs"
 )
 
 // Planner is a cost-based router over the three ways to answer a
@@ -32,6 +34,9 @@ type Planner struct {
 	so   *StructuredOnly
 	bbox *geom.Rect
 	nPow float64 // N^{1-1/k}
+
+	fam    family
+	tracer obs.Tracer
 }
 
 // Route identifies the strategy a plan selected.
@@ -51,8 +56,15 @@ type Plan struct {
 }
 
 // BuildPlanner constructs all three strategies for k-keyword queries.
-func BuildPlanner(ds *dataset.Dataset, k int) (*Planner, error) {
-	orp, err := BuildORPKW(ds, k)
+func BuildPlanner(ds *dataset.Dataset, k int, opts ...BuildOption) (*Planner, error) {
+	if err := checkDataset(ds); err != nil {
+		return nil, err
+	}
+	o := resolveOpts(opts)
+	bt := obsBuildStart()
+	// The framework route is one of the planner's internal strategies:
+	// untagged, so each routed query is counted once under planner.
+	orp, err := BuildORPKWWith(ds, k, o.inner())
 	if err != nil {
 		return nil, err
 	}
@@ -60,15 +72,19 @@ func BuildPlanner(ds *dataset.Dataset, k int) (*Planner, error) {
 	for i := range pts {
 		pts[i] = ds.Point(int32(i))
 	}
-	return &Planner{
-		ds:   ds,
-		k:    k,
-		orp:  orp,
-		inv:  invidx.Build(ds),
-		so:   BuildStructuredOnly(ds, nil),
-		bbox: geom.BoundingRect(pts),
-		nPow: math.Pow(float64(ds.N()), 1-1/float64(k)),
-	}, nil
+	p := &Planner{
+		ds:     ds,
+		k:      k,
+		orp:    orp,
+		inv:    invidx.Build(ds),
+		so:     BuildStructuredOnly(ds, nil),
+		bbox:   geom.BoundingRect(pts),
+		nPow:   math.Pow(float64(ds.N()), 1-1/float64(k)),
+		fam:    o.famFor(famPlanner),
+		tracer: o.Tracer,
+	}
+	obsBuildEnd(p.fam, bt)
+	return p, nil
 }
 
 // Explain estimates each strategy without running anything.
@@ -120,30 +136,79 @@ func (p *Planner) selectivity(q *geom.Rect) float64 {
 // Query routes and executes. The returned plan reports the decision; stats
 // are filled for the framework route (the baselines report only result
 // counts through the plan estimates).
-func (p *Planner) Query(q *geom.Rect, ws []dataset.Keyword, report func(int32)) (Plan, QueryStats, error) {
+func (p *Planner) Query(q *geom.Rect, ws []dataset.Keyword, report func(int32)) (plan Plan, st QueryStats, err error) {
+	qt := obsBegin(p.fam, "Query", p.tracer)
+	defer func() {
+		if obsEnd(p.fam, qt, &st, err, p.tracer) {
+			p.emitPlanSpan(plan, q, ws, qt, &st, err)
+		}
+	}()
 	if len(ws) != p.k {
 		return Plan{}, QueryStats{}, fmt.Errorf("core: planner built for k=%d, query has %d keywords", p.k, len(ws))
 	}
 	if err := dataset.ValidateKeywords(ws); err != nil {
 		return Plan{}, QueryStats{}, err
 	}
-	plan := p.Explain(q, ws)
+	plan = p.Explain(q, ws)
+	p.countRoute(plan.Route)
 	switch plan.Route {
 	case RouteKeywordsOnly:
 		for _, id := range p.inv.KeywordsOnly(q, ws) {
 			report(id)
+			st.Reported++
 		}
-		return plan, QueryStats{}, nil
+		return plan, st, nil
 	case RouteStructuredOnly:
 		ids, _, _ := p.so.Query(q, ws)
 		for _, id := range ids {
 			report(id)
+			st.Reported++
 		}
-		return plan, QueryStats{}, nil
+		return plan, st, nil
 	default:
-		st, err := p.orp.Query(q, ws, QueryOpts{}, report)
+		st, err = p.orp.Query(q, ws, QueryOpts{}, report)
 		return plan, st, err
 	}
+}
+
+// countRoute records the routing decision in the shared route counters.
+func (p *Planner) countRoute(r Route) {
+	if p.fam == famNone || !obs.MetricsEnabled() {
+		return
+	}
+	switch r {
+	case RouteKeywordsOnly:
+		routeKeywordsHits.Inc()
+	case RouteStructuredOnly:
+		routeStructuredHits.Inc()
+	default:
+		routeFrameworkHits.Inc()
+	}
+}
+
+// emitPlanSpan is the planner's decision trace: the usual query span plus the
+// chosen route and the per-strategy cost estimates that drove the decision.
+func (p *Planner) emitPlanSpan(plan Plan, q *geom.Rect, ws []dataset.Keyword, start time.Time, st *QueryStats, err error) {
+	sp := obs.Span{
+		Family:  famNames[p.fam],
+		Op:      "Query",
+		Query:   echoRegion(q, ws),
+		K:       p.k,
+		Out:     st.Reported,
+		Ops:     st.Ops,
+		Nodes:   st.NodesVisited,
+		Elapsed: time.Since(start),
+		Outcome: outcomeOf(err),
+		Err:     err,
+		Route:   string(plan.Route),
+	}
+	if len(plan.Estimates) > 0 {
+		sp.Estimates = make(map[string]float64, len(plan.Estimates))
+		for r, c := range plan.Estimates {
+			sp.Estimates[string(r)] = c
+		}
+	}
+	emitSpan(sp, p.tracer)
 }
 
 // Collect is Query returning a slice.

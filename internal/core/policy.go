@@ -36,7 +36,22 @@ var (
 	// lo>hi rectangles, duplicate or wrong-count keyword tuples, ...); test
 	// with errors.Is.
 	ErrInvalidQuery = errors.New("core: invalid query")
+	// ErrInvalidDataset wraps constructor rejections of unusable inputs (nil
+	// or empty datasets) so they fail loudly at build time instead of
+	// panicking inside a later traversal; test with errors.Is.
+	ErrInvalidDataset = errors.New("core: invalid dataset")
 )
+
+// checkDataset is the shared constructor guard behind ErrInvalidDataset.
+func checkDataset(ds *dataset.Dataset) error {
+	if ds == nil {
+		return fmt.Errorf("%w: nil dataset", ErrInvalidDataset)
+	}
+	if ds.Len() == 0 {
+		return fmt.Errorf("%w: empty dataset", ErrInvalidDataset)
+	}
+	return nil
+}
 
 // ExecPolicy bounds the execution of one query. The zero value imposes no
 // bounds and costs nothing on the traversal hot path. Unlike QueryOpts.Limit
@@ -180,6 +195,12 @@ func newPanicError(op string, val any, query string) *PanicError {
 // echoRegion formats a query region and keyword tuple for PanicError.Query.
 func echoRegion(q geom.Region, ws []dataset.Keyword) string {
 	return fmt.Sprintf("region=%v keywords=%v", q, ws)
+}
+
+// echoQuery formats a non-Region constraint (halfspace list, simplex) and
+// keyword tuple for PanicError.Query and tracing spans.
+func echoQuery(q any, ws []dataset.Keyword) string {
+	return fmt.Sprintf("query=%v keywords=%v", q, ws)
 }
 
 // echoPoint formats an NN query for PanicError.Query.

@@ -57,7 +57,7 @@ func FuzzExecPolicy(f *testing.F) {
 		maxRes := int(cap16 % 64)
 		// Rectangle from the fuzzed corner coordinates, scaled into the unit
 		// square the generators populate, normalized so lo <= hi.
-		coord := func(v int64) float64 { return float64(((v % 40) + 40) % 40) / 40.0 }
+		coord := func(v int64) float64 { return float64(((v%40)+40)%40) / 40.0 }
 		lo := []float64{coord(ax), coord(ay)}
 		hi := []float64{coord(bx), coord(by)}
 		for j := range lo {

@@ -288,7 +288,7 @@ func TestNNPolicyAndPanic(t *testing.T) {
 	}
 	q := geom.Point{0.5, 0.5}
 	ws := []dataset.Keyword{1, 2}
-	res, _, err := ix.Query(q, 5, ws)
+	res, _, err := ix.Query(q, 5, ws, QueryOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,14 +302,14 @@ func TestNNPolicyAndPanic(t *testing.T) {
 	}
 
 	ArmFailpoint(FPNNProbe, func() { panic("probe dies") })
-	_, _, err = ix.Query(q, 5, ws)
+	_, _, err = ix.Query(q, 5, ws, QueryOpts{})
 	var pe *PanicError
 	if !errors.As(err, &pe) {
 		t.Fatalf("NN panic surfaced as %v, want *PanicError", err)
 	}
 	DisarmAllFailpoints()
 
-	again, _, err := ix.Query(q, 5, ws)
+	again, _, err := ix.Query(q, 5, ws, QueryOpts{})
 	if err != nil || len(again) != len(res) {
 		t.Fatalf("post-failure NN query: %d results, err %v", len(again), err)
 	}
@@ -388,10 +388,10 @@ func TestValidationRejectsMalformedQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := nn.Query(geom.Point{inf, 0}, 3, []dataset.Keyword{1, 2}); !errors.Is(err, ErrInvalidQuery) {
+	if _, _, err := nn.Query(geom.Point{inf, 0}, 3, []dataset.Keyword{1, 2}, QueryOpts{}); !errors.Is(err, ErrInvalidQuery) {
 		t.Errorf("Inf NN point: err = %v, want ErrInvalidQuery", err)
 	}
-	if _, _, err := nn.Query(geom.Point{0, 0}, 0, []dataset.Keyword{1, 2}); !errors.Is(err, ErrInvalidQuery) {
+	if _, _, err := nn.Query(geom.Point{0, 0}, 0, []dataset.Keyword{1, 2}, QueryOpts{}); !errors.Is(err, ErrInvalidQuery) {
 		t.Errorf("t=0 NN: err = %v, want ErrInvalidQuery", err)
 	}
 	sp, err := BuildSPKW(ds, SPKWConfig{K: 2})

@@ -6,6 +6,7 @@ import (
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
+	"kwsc/internal/obs"
 )
 
 // RRKW is the rectangle-reporting-with-keywords index of Corollary 3. Data
@@ -19,10 +20,14 @@ import (
 // Theorem 2.
 type RRKW struct {
 	d     int
+	k     int
 	rects []*geom.Rect
 	low   *ORPKW     // corner dimension 2 (d = 1)
 	high  *ORPKWHigh // corner dimension >= 4 (d >= 2)
 	ds    *dataset.Dataset
+
+	fam    family
+	tracer obs.Tracer
 }
 
 // RectObject is one input element of RR-KW: a d-rectangle plus a document.
@@ -32,15 +37,16 @@ type RectObject struct {
 }
 
 // BuildRRKW constructs the index for k-keyword queries.
-func BuildRRKW(rects []RectObject, k int) (*RRKW, error) {
-	return BuildRRKWWith(rects, k, BuildOpts{})
+func BuildRRKW(rects []RectObject, k int, opts ...BuildOption) (*RRKW, error) {
+	return BuildRRKWWith(rects, k, resolveOpts(opts))
 }
 
-// BuildRRKWWith is BuildRRKW with explicit construction options.
+// BuildRRKWWith is BuildRRKW with an explicit options struct.
 func BuildRRKWWith(rects []RectObject, k int, opts BuildOpts) (*RRKW, error) {
 	if len(rects) == 0 {
-		return nil, fmt.Errorf("core: RR-KW needs at least one rectangle")
+		return nil, fmt.Errorf("%w: RR-KW needs at least one rectangle", ErrInvalidDataset)
 	}
+	bt := obsBuildStart()
 	d := rects[0].Rect.Dim()
 	objs := make([]dataset.Object, len(rects))
 	geomRects := make([]*geom.Rect, len(rects))
@@ -60,15 +66,18 @@ func BuildRRKWWith(rects []RectObject, k int, opts BuildOpts) (*RRKW, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := &RRKW{d: d, rects: geomRects, ds: ds}
+	ix := &RRKW{d: d, k: k, rects: geomRects, ds: ds, fam: opts.famFor(famRRKW), tracer: opts.Tracer}
+	// The corner-space index is an implementation detail: build it untagged
+	// so each RR-KW query is counted once, at this entry point.
 	if 2*d <= 2 {
-		ix.low, err = BuildORPKWWith(ds, k, opts)
+		ix.low, err = BuildORPKWWith(ds, k, opts.inner())
 	} else {
-		ix.high, err = BuildORPKWHighWith(ds, k, opts)
+		ix.high, err = BuildORPKWHighWith(ds, k, opts.inner())
 	}
 	if err != nil {
 		return nil, err
 	}
+	obsBuildEnd(ix.fam, bt)
 	return ix, nil
 }
 
@@ -86,7 +95,13 @@ func (ix *RRKW) cornerQuery(q *geom.Rect) *geom.Rect {
 
 // Query reports every data rectangle intersecting q whose document contains
 // all keywords.
-func (ix *RRKW) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+func (ix *RRKW) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (st QueryStats, err error) {
+	qt := obsBegin(ix.fam, "Query", ix.tracer)
+	defer func() {
+		if obsEnd(ix.fam, qt, &st, err, ix.tracer) {
+			obsSpan(ix.fam, "Query", echoRegion(q, ws), ix.k, qt, &st, err, ix.tracer)
+		}
+	}()
 	if err := validateRect(q, ix.d); err != nil {
 		return QueryStats{}, err
 	}
@@ -104,7 +119,13 @@ func (ix *RRKW) Collect(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts) ([]i
 
 // CollectInto is Collect appending into buf, reusing its capacity; the
 // returned slice aliases buf only.
-func (ix *RRKW) CollectInto(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, buf []int32) ([]int32, QueryStats, error) {
+func (ix *RRKW) CollectInto(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, buf []int32) (out []int32, st QueryStats, err error) {
+	qt := obsBegin(ix.fam, "CollectInto", ix.tracer)
+	defer func() {
+		if obsEnd(ix.fam, qt, &st, err, ix.tracer) {
+			obsSpan(ix.fam, "CollectInto", echoRegion(q, ws), ix.k, qt, &st, err, ix.tracer)
+		}
+	}()
 	if err := validateRect(q, ix.d); err != nil {
 		return nil, QueryStats{}, err
 	}

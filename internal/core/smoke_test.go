@@ -112,7 +112,7 @@ func TestSmokeLinfNN(t *testing.T) {
 		qp := geom.Point{rng.Float64(), rng.Float64()}
 		kws := workload.RandKeywords(rng, 30, 2)
 		tt := 1 + rng.Intn(8)
-		res, _, err := ix.Query(qp, tt, kws)
+		res, _, err := ix.Query(qp, tt, kws, QueryOpts{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -152,7 +152,7 @@ func TestSmokeL2NN(t *testing.T) {
 		qp := geom.Point{float64(rng.Int63n(1 << 12)), float64(rng.Int63n(1 << 12))}
 		kws := workload.RandKeywords(rng, 30, 2)
 		tt := 1 + rng.Intn(6)
-		res, _, err := ix.Query(qp, tt, kws)
+		res, _, err := ix.Query(qp, tt, kws, QueryOpts{})
 		if err != nil {
 			t.Fatal(err)
 		}

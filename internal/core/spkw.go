@@ -5,6 +5,7 @@ import (
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
+	"kwsc/internal/obs"
 	"kwsc/internal/spart"
 )
 
@@ -25,6 +26,9 @@ import (
 type SPKW struct {
 	ds *dataset.Dataset
 	fw *Framework
+
+	fam    family
+	tracer obs.Tracer
 }
 
 // SPKWConfig controls construction.
@@ -45,6 +49,10 @@ type SPKWConfig struct {
 
 // BuildSPKW constructs the index.
 func BuildSPKW(ds *dataset.Dataset, cfg SPKWConfig) (*SPKW, error) {
+	if err := checkDataset(ds); err != nil {
+		return nil, err
+	}
+	bt := obsBuildStart()
 	dim := ds.Dim()
 	if cfg.Points != nil {
 		dim = len(cfg.Points[0])
@@ -66,12 +74,20 @@ func BuildSPKW(ds *dataset.Dataset, cfg SPKWConfig) (*SPKW, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &SPKW{ds: ds, fw: fw}, nil
+	ix := &SPKW{ds: ds, fw: fw, fam: cfg.Build.famFor(famLCKW), tracer: cfg.Build.Tracer}
+	obsBuildEnd(ix.fam, bt)
+	return ix, nil
 }
 
 // QuerySimplex answers an SP-KW query: report the objects inside the
 // d-simplex whose documents contain all keywords.
-func (ix *SPKW) QuerySimplex(s *geom.Simplex, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+func (ix *SPKW) QuerySimplex(s *geom.Simplex, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (st QueryStats, err error) {
+	qt := obsBegin(ix.fam, "QuerySimplex", ix.tracer)
+	defer func() {
+		if obsEnd(ix.fam, qt, &st, err, ix.tracer) {
+			obsSpan(ix.fam, "QuerySimplex", echoQuery(s, ws), ix.fw.K(), qt, &st, err, ix.tracer)
+		}
+	}()
 	ph, err := s.Polyhedron()
 	if err != nil {
 		return QueryStats{}, err
@@ -81,7 +97,13 @@ func (ix *SPKW) QuerySimplex(s *geom.Simplex, ws []dataset.Keyword, opts QueryOp
 
 // QueryConstraints answers an LC-KW query: report the objects satisfying
 // every linear constraint whose documents contain all keywords.
-func (ix *SPKW) QueryConstraints(hs []geom.Halfspace, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+func (ix *SPKW) QueryConstraints(hs []geom.Halfspace, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (st QueryStats, err error) {
+	qt := obsBegin(ix.fam, "QueryConstraints", ix.tracer)
+	defer func() {
+		if obsEnd(ix.fam, qt, &st, err, ix.tracer) {
+			obsSpan(ix.fam, "QueryConstraints", echoQuery(hs, ws), ix.fw.K(), qt, &st, err, ix.tracer)
+		}
+	}()
 	if err := validateHalfspaces(hs, ix.fw.PointDim()); err != nil {
 		return QueryStats{}, err
 	}
@@ -89,7 +111,13 @@ func (ix *SPKW) QueryConstraints(hs []geom.Halfspace, ws []dataset.Keyword, opts
 }
 
 // QueryRegion answers a query against an arbitrary convex region.
-func (ix *SPKW) QueryRegion(q geom.Region, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+func (ix *SPKW) QueryRegion(q geom.Region, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (st QueryStats, err error) {
+	qt := obsBegin(ix.fam, "QueryRegion", ix.tracer)
+	defer func() {
+		if obsEnd(ix.fam, qt, &st, err, ix.tracer) {
+			obsSpan(ix.fam, "QueryRegion", echoRegion(q, ws), ix.fw.K(), qt, &st, err, ix.tracer)
+		}
+	}()
 	return ix.fw.Query(q, ws, opts, report)
 }
 
@@ -101,7 +129,13 @@ func (ix *SPKW) CollectConstraints(hs []geom.Halfspace, ws []dataset.Keyword, op
 
 // CollectConstraintsInto is CollectConstraints appending into buf, reusing
 // its capacity; the returned slice aliases buf only.
-func (ix *SPKW) CollectConstraintsInto(hs []geom.Halfspace, ws []dataset.Keyword, opts QueryOpts, buf []int32) ([]int32, QueryStats, error) {
+func (ix *SPKW) CollectConstraintsInto(hs []geom.Halfspace, ws []dataset.Keyword, opts QueryOpts, buf []int32) (out []int32, st QueryStats, err error) {
+	qt := obsBegin(ix.fam, "CollectConstraintsInto", ix.tracer)
+	defer func() {
+		if obsEnd(ix.fam, qt, &st, err, ix.tracer) {
+			obsSpan(ix.fam, "CollectConstraintsInto", echoQuery(hs, ws), ix.fw.K(), qt, &st, err, ix.tracer)
+		}
+	}()
 	if err := validateHalfspaces(hs, ix.fw.PointDim()); err != nil {
 		return nil, QueryStats{}, err
 	}

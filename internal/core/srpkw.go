@@ -6,6 +6,7 @@ import (
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
+	"kwsc/internal/obs"
 )
 
 // SRPKW is the spherical-range-reporting-with-keywords index of Corollary 6:
@@ -16,29 +17,46 @@ type SRPKW struct {
 	ds  *dataset.Dataset
 	sp  *SPKW
 	dim int
+
+	fam    family
+	tracer obs.Tracer
 }
 
 // BuildSRPKW constructs the lifted index for k-keyword queries.
-func BuildSRPKW(ds *dataset.Dataset, k int) (*SRPKW, error) {
-	return BuildSRPKWWith(ds, k, BuildOpts{})
+func BuildSRPKW(ds *dataset.Dataset, k int, opts ...BuildOption) (*SRPKW, error) {
+	return BuildSRPKWWith(ds, k, resolveOpts(opts))
 }
 
-// BuildSRPKWWith is BuildSRPKW with explicit construction options.
+// BuildSRPKWWith is BuildSRPKW with an explicit options struct.
 func BuildSRPKWWith(ds *dataset.Dataset, k int, opts BuildOpts) (*SRPKW, error) {
+	if err := checkDataset(ds); err != nil {
+		return nil, err
+	}
+	bt := obsBuildStart()
 	lifted := make([]geom.Point, ds.Len())
 	for i := range lifted {
 		lifted[i] = geom.Lift(ds.Point(int32(i)))
 	}
-	sp, err := BuildSPKW(ds, SPKWConfig{K: k, Points: lifted, Build: opts})
+	// The lifted SP-KW index is internal to the reduction: untagged, so each
+	// sphere query is counted once as srpkw.
+	sp, err := BuildSPKW(ds, SPKWConfig{K: k, Points: lifted, Build: opts.inner()})
 	if err != nil {
 		return nil, err
 	}
-	return &SRPKW{ds: ds, sp: sp, dim: ds.Dim()}, nil
+	ix := &SRPKW{ds: ds, sp: sp, dim: ds.Dim(), fam: opts.famFor(famSRPKW), tracer: opts.Tracer}
+	obsBuildEnd(ix.fam, bt)
+	return ix, nil
 }
 
 // Query reports every object inside the sphere whose document contains all
 // keywords.
-func (ix *SRPKW) Query(s *geom.Sphere, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+func (ix *SRPKW) Query(s *geom.Sphere, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (st QueryStats, err error) {
+	qt := obsBegin(ix.fam, "Query", ix.tracer)
+	defer func() {
+		if obsEnd(ix.fam, qt, &st, err, ix.tracer) {
+			obsSpan(ix.fam, "Query", echoRegion(s, ws), ix.sp.K(), qt, &st, err, ix.tracer)
+		}
+	}()
 	if err := validateSphere(s, ix.dim); err != nil {
 		return QueryStats{}, err
 	}
@@ -49,7 +67,13 @@ func (ix *SRPKW) Query(s *geom.Sphere, ws []dataset.Keyword, opts QueryOpts, rep
 // QuerySq is Query for a sphere given by its squared radius; the L2NN-KW
 // search of Corollary 7 uses it to binary-search exact integer squared
 // distances.
-func (ix *SRPKW) QuerySq(center geom.Point, radiusSq float64, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+func (ix *SRPKW) QuerySq(center geom.Point, radiusSq float64, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (st QueryStats, err error) {
+	qt := obsBegin(ix.fam, "QuerySq", ix.tracer)
+	defer func() {
+		if obsEnd(ix.fam, qt, &st, err, ix.tracer) {
+			obsSpan(ix.fam, "QuerySq", echoQuery(center, ws), ix.sp.K(), qt, &st, err, ix.tracer)
+		}
+	}()
 	if err := validatePoint(center, ix.dim); err != nil {
 		return QueryStats{}, err
 	}
@@ -67,7 +91,13 @@ func (ix *SRPKW) Collect(s *geom.Sphere, ws []dataset.Keyword, opts QueryOpts) (
 
 // CollectInto is Collect appending into buf, reusing its capacity; the
 // returned slice aliases buf only.
-func (ix *SRPKW) CollectInto(s *geom.Sphere, ws []dataset.Keyword, opts QueryOpts, buf []int32) ([]int32, QueryStats, error) {
+func (ix *SRPKW) CollectInto(s *geom.Sphere, ws []dataset.Keyword, opts QueryOpts, buf []int32) (out []int32, st QueryStats, err error) {
+	qt := obsBegin(ix.fam, "CollectInto", ix.tracer)
+	defer func() {
+		if obsEnd(ix.fam, qt, &st, err, ix.tracer) {
+			obsSpan(ix.fam, "CollectInto", echoRegion(s, ws), ix.sp.K(), qt, &st, err, ix.tracer)
+		}
+	}()
 	if err := validateSphere(s, ix.dim); err != nil {
 		return nil, QueryStats{}, err
 	}

@@ -44,7 +44,7 @@ func TestAppendixGReduction(t *testing.T) {
 			q := geom.Point{0.37, 0.61}
 			var res []NNResult
 			for tt := 1; ; tt *= 2 {
-				r, _, err := nn.Query(q, tt, ws)
+				r, _, err := nn.Query(q, tt, ws, QueryOpts{})
 				if err != nil {
 					t.Fatal(err)
 				}

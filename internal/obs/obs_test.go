@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only go up
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("Counter must return the same pointer for the same name")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 20, 20}, {1<<20 + 1, 21}, {1 << 62, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIdx(c.v); got != c.want {
+			t.Errorf("bucketIdx(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+
+	var h Histogram
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(100)
+	s := h.snapshot()
+	if s.Count != 4 || s.Sum != 107 {
+		t.Fatalf("count/sum = %d/%d, want 4/107", s.Count, s.Sum)
+	}
+	// Buckets are cumulative: le=1 holds 1, le=4 holds 3, le=128 holds 4.
+	find := func(le int64) int64 {
+		for _, b := range s.Buckets {
+			if b.Le == le {
+				return b.Count
+			}
+		}
+		t.Fatalf("no bucket le=%d in %+v", le, s.Buckets)
+		return 0
+	}
+	if find(1) != 1 || find(4) != 3 || find(128) != 4 {
+		t.Fatalf("cumulative buckets wrong: %+v", s.Buckets)
+	}
+	if last := s.Buckets[len(s.Buckets)-1]; last.Le != 128 {
+		t.Fatalf("buckets not trimmed after last non-zero: %+v", s.Buckets)
+	}
+}
+
+func TestRegistrySnapshotAndReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("queries_total")
+	c.Add(3)
+	r.Gauge("buckets").Set(2)
+	r.Histogram("lat").Observe(10)
+
+	s := r.Snapshot()
+	if s.Counter("queries_total") != 3 || s.Gauge("buckets") != 2 || s.Histogram("lat").Count != 1 {
+		t.Fatalf("snapshot mismatch: %+v", s)
+	}
+	if s.NumSeries() != 3 {
+		t.Fatalf("NumSeries = %d, want 3", s.NumSeries())
+	}
+
+	r.Reset()
+	if c.Load() != 0 {
+		t.Fatal("Reset must zero metrics in place")
+	}
+	c.Inc() // the pre-Reset pointer must still feed the registry
+	if r.Snapshot().Counter("queries_total") != 1 {
+		t.Fatal("pre-Reset pointers must stay registered")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`q_total{family="orpkw"}`).Add(11)
+	r.Gauge("live").Set(-4)
+	h := r.Histogram(`lat_ns{family="orpkw"}`)
+	h.Observe(5)
+	h.Observe(900)
+	s := r.Snapshot()
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("JSON round-trip mismatch:\n got %+v\nwant %+v", back, s)
+	}
+
+	compact, err := s.MarshalCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.ContainsRune(compact, '\n') {
+		t.Fatal("compact form must be a single line")
+	}
+	back2, err := ParseJSON(bytes.NewReader(compact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back2) {
+		t.Fatal("compact JSON round-trip mismatch")
+	}
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	// >= 12 distinct series across the three kinds, with and without labels.
+	for _, fam := range []string{"orpkw", "rrkw", "lckw", "ksi"} {
+		r.Counter(fmt.Sprintf(`kwsc_queries_total{family=%q}`, fam)).Add(int64(len(fam)))
+		r.Counter(fmt.Sprintf(`kwsc_query_errors_total{family=%q,code="budget"}`, fam)).Inc()
+		h := r.Histogram(fmt.Sprintf(`kwsc_query_ops{family=%q}`, fam))
+		h.Observe(3)
+		h.Observe(70000)
+	}
+	r.Gauge("kwsc_dynamic_buckets").Set(5)
+	r.Gauge("kwsc_dynamic_live_objects").Set(1234)
+	r.Counter("kwsc_fallbacks_total") // untouched series survive too
+	s := r.Snapshot()
+	if s.NumSeries() < 12 {
+		t.Fatalf("fixture too small: %d series", s.NumSeries())
+	}
+
+	var buf bytes.Buffer
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE kwsc_queries_total counter",
+		"# TYPE kwsc_dynamic_buckets gauge",
+		"# TYPE kwsc_query_ops histogram",
+		`kwsc_queries_total{family="orpkw"} 5`,
+		`kwsc_query_ops_bucket{family="orpkw",le="+Inf"} 2`,
+		`kwsc_query_ops_sum{family="orpkw"} 70003`,
+		`kwsc_query_ops_count{family="orpkw"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Prometheus text missing %q:\n%s", want, text)
+		}
+	}
+
+	back, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("Prometheus round-trip mismatch:\n got %+v\nwant %+v", back, s)
+	}
+}
+
+type captureTracer struct {
+	mu     sync.Mutex
+	begins int
+	spans  []Span
+}
+
+func (c *captureTracer) Begin(family, op string) {
+	c.mu.Lock()
+	c.begins++
+	c.mu.Unlock()
+}
+
+func (c *captureTracer) End(sp Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, sp)
+	c.mu.Unlock()
+}
+
+func TestSetTracerArming(t *testing.T) {
+	SetMetricsEnabled(false)
+	defer func() {
+		SetTracer(nil)
+		SetMetricsEnabled(true)
+	}()
+	if Armed() {
+		t.Fatal("nothing should be armed with metrics off and no tracer")
+	}
+	tr := &captureTracer{}
+	SetTracer(tr)
+	if !Armed() || ActiveTracer() == nil {
+		t.Fatal("tracer must arm the layer")
+	}
+	SetTracer(nil)
+	if Armed() || ActiveTracer() != nil {
+		t.Fatal("nil must disarm the tracer")
+	}
+}
+
+func TestSlowLogTopM(t *testing.T) {
+	EnableSlowLog(3, 10)
+	defer EnableSlowLog(0, 0)
+
+	if SlowAdmits(9) {
+		t.Fatal("below-floor ops must not admit")
+	}
+	for _, ops := range []int64{15, 11, 30, 12, 50} {
+		if SlowAdmits(ops) {
+			RecordSlow(SlowEntry{Query: fmt.Sprintf("q%d", ops), Ops: ops, Elapsed: time.Millisecond})
+		}
+	}
+	got := SlowQueries()
+	if len(got) != 3 {
+		t.Fatalf("kept %d entries, want 3", len(got))
+	}
+	// Top-3 by ops of {15,11,30,12,50} is {50,30,15}.
+	for i, want := range []int64{50, 30, 15} {
+		if got[i].Ops != want {
+			t.Fatalf("entry %d ops = %d, want %d (%+v)", i, got[i].Ops, want, got)
+		}
+	}
+	// The gate has risen past the current minimum: equal-cost traffic stops
+	// paying for span formatting.
+	if SlowAdmits(15) {
+		t.Fatal("gate must rise to min+1 once full")
+	}
+	if !SlowAdmits(16) {
+		t.Fatal("strictly more expensive queries must still admit")
+	}
+
+	EnableSlowLog(0, 0)
+	if SlowAdmits(1 << 40) {
+		t.Fatal("disabled log must admit nothing")
+	}
+	if len(SlowQueries()) != 0 {
+		t.Fatal("disabling must drop retained entries")
+	}
+}
+
+func TestConcurrentMetricsAndSlowLog(t *testing.T) {
+	r := NewRegistry()
+	EnableSlowLog(8, 1)
+	defer EnableSlowLog(0, 0)
+	tr := &captureTracer{}
+	SetTracer(tr)
+	defer SetTracer(nil)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("c_total")
+			h := r.Histogram("h")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(int64(i))
+				if ops := int64(i); SlowAdmits(ops) {
+					RecordSlow(SlowEntry{Ops: ops})
+				}
+				if g := ActiveTracer(); g != nil {
+					g.Begin("fam", "op")
+					g.End(Span{Ops: int64(i)})
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { // concurrent snapshots and flag flips
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			r.Snapshot()
+			SlowQueries()
+			SetMetricsEnabled(i%2 == 0)
+		}
+	}()
+	wg.Wait()
+	<-done
+	SetMetricsEnabled(true)
+
+	if got := r.Counter("c_total").Load(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	if len(SlowQueries()) == 0 {
+		t.Fatal("slow log should have retained entries")
+	}
+}

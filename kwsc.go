@@ -47,6 +47,7 @@ package kwsc
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"kwsc/internal/bitpack"
@@ -147,24 +148,50 @@ func NewPolyhedron(hs ...Halfspace) *Polyhedron { return geom.NewPolyhedron(hs..
 // BuildOpts tunes index construction. The zero value builds subtrees in
 // parallel across every core; Parallelism: 1 forces a sequential build.
 // Parallel and sequential builds produce indexes that answer every query
-// identically.
+// identically. Most callers pass Option values to the constructors instead
+// of filling this struct.
 type BuildOpts = core.BuildOpts
+
+// Option is a functional construction option accepted by every index
+// constructor: NewORPKW(ds, k, WithParallelism(4), WithTracer(t)).
+type Option = core.BuildOption
+
+// WithParallelism caps the number of goroutines a build may use; 1 forces a
+// sequential build.
+func WithParallelism(p int) Option { return core.WithParallelism(p) }
+
+// WithTracer installs a per-index tracer: every query span the index emits
+// goes to t in addition to any process-wide tracer (SetTracer).
+func WithTracer(t Tracer) Option { return core.WithTracer(t) }
+
+// WithoutObs excludes the index from the metrics registry, tracing, and the
+// slow-query log (e.g. shadow indexes that must stay invisible to
+// monitoring).
+func WithoutObs() Option { return core.WithoutObs() }
 
 // NewORPKW builds the Theorem 1 index: O(N) space and
 // O(N^{1-1/k} (1 + OUT^{1/k})) query time for d <= 2 (any d is accepted;
 // for d >= 3 prefer NewORPKWHigh, whose query bound is dimension-free).
-func NewORPKW(ds *Dataset, k int) (*ORPKW, error) { return core.BuildORPKW(ds, k) }
+func NewORPKW(ds *Dataset, k int, opts ...Option) (*ORPKW, error) {
+	return core.BuildORPKW(ds, k, opts...)
+}
 
-// NewORPKWWith is NewORPKW with explicit construction options.
+// NewORPKWWith is NewORPKW with an explicit options struct.
+//
+// Deprecated: use NewORPKW with Option values.
 func NewORPKWWith(ds *Dataset, k int, opts BuildOpts) (*ORPKW, error) {
 	return core.BuildORPKWWith(ds, k, opts)
 }
 
 // NewORPKWHigh builds the Theorem 2 index for d >= 3:
 // O(N (log log N)^{d-2}) space, O(N^{1-1/k} (1 + OUT^{1/k})) query time.
-func NewORPKWHigh(ds *Dataset, k int) (*ORPKWHigh, error) { return core.BuildORPKWHigh(ds, k) }
+func NewORPKWHigh(ds *Dataset, k int, opts ...Option) (*ORPKWHigh, error) {
+	return core.BuildORPKWHigh(ds, k, opts...)
+}
 
-// NewORPKWHighWith is NewORPKWHigh with explicit construction options.
+// NewORPKWHighWith is NewORPKWHigh with an explicit options struct.
+//
+// Deprecated: use NewORPKWHigh with Option values.
 func NewORPKWHighWith(ds *Dataset, k int, opts BuildOpts) (*ORPKWHigh, error) {
 	return core.BuildORPKWHighWith(ds, k, opts)
 }
@@ -172,60 +199,104 @@ func NewORPKWHighWith(ds *Dataset, k int, opts BuildOpts) (*ORPKWHigh, error) {
 // NewRRKW builds the Corollary 3 index over d-rectangles; queries report
 // the data rectangles intersecting a query rectangle that carry all k
 // keywords.
-func NewRRKW(rects []RectObject, k int) (*RRKW, error) { return core.BuildRRKW(rects, k) }
+func NewRRKW(rects []RectObject, k int, opts ...Option) (*RRKW, error) {
+	return core.BuildRRKW(rects, k, opts...)
+}
 
-// NewRRKWWith is NewRRKW with explicit construction options.
+// NewRRKWWith is NewRRKW with an explicit options struct.
+//
+// Deprecated: use NewRRKW with Option values.
 func NewRRKWWith(rects []RectObject, k int, opts BuildOpts) (*RRKW, error) {
 	return core.BuildRRKWWith(rects, k, opts)
 }
 
 // NewLCKW builds the Theorem 5 / Theorem 12 index: linear-conjunction and
 // simplex reporting with keywords. The zero config selects the default
-// substrate (Willard partition tree for d = 2, box tree otherwise).
-func NewLCKW(ds *Dataset, cfg LCKWConfig) (*LCKW, error) { return core.BuildSPKW(ds, cfg) }
+// substrate (Willard partition tree for d = 2, box tree otherwise); Option
+// values apply on top of cfg.Build.
+func NewLCKW(ds *Dataset, cfg LCKWConfig, opts ...Option) (*LCKW, error) {
+	cfg.Build = cfg.Build.With(opts...)
+	return core.BuildSPKW(ds, cfg)
+}
 
 // NewSRPKW builds the Corollary 6 index: spherical range reporting with
 // keywords via the lifting transformation.
-func NewSRPKW(ds *Dataset, k int) (*SRPKW, error) { return core.BuildSRPKW(ds, k) }
+func NewSRPKW(ds *Dataset, k int, opts ...Option) (*SRPKW, error) {
+	return core.BuildSRPKW(ds, k, opts...)
+}
 
-// NewSRPKWWith is NewSRPKW with explicit construction options.
+// NewSRPKWWith is NewSRPKW with an explicit options struct.
+//
+// Deprecated: use NewSRPKW with Option values.
 func NewSRPKWWith(ds *Dataset, k int, opts BuildOpts) (*SRPKW, error) {
 	return core.BuildSRPKWWith(ds, k, opts)
 }
 
 // NewLinfNN builds the Corollary 4 index: t nearest neighbors under L∞
 // among the objects carrying all k keywords.
-func NewLinfNN(ds *Dataset, k int) (*LinfNN, error) { return core.BuildLinfNN(ds, k) }
+func NewLinfNN(ds *Dataset, k int, opts ...Option) (*LinfNN, error) {
+	return core.BuildLinfNN(ds, k, opts...)
+}
 
-// NewLinfNNWith is NewLinfNN with explicit construction options.
+// NewLinfNNWith is NewLinfNN with an explicit options struct.
+//
+// Deprecated: use NewLinfNN with Option values.
 func NewLinfNNWith(ds *Dataset, k int, opts BuildOpts) (*LinfNN, error) {
 	return core.BuildLinfNNWith(ds, k, opts)
 }
 
 // NewL2NN builds the Corollary 7 index: t nearest neighbors under L2 among
 // the objects carrying all k keywords; coordinates must be integers.
-func NewL2NN(ds *Dataset, k int) (*L2NN, error) { return core.BuildL2NN(ds, k) }
+func NewL2NN(ds *Dataset, k int, opts ...Option) (*L2NN, error) {
+	return core.BuildL2NN(ds, k, opts...)
+}
 
-// NewL2NNWith is NewL2NN with explicit construction options.
+// NewL2NNWith is NewL2NN with an explicit options struct.
+//
+// Deprecated: use NewL2NN with Option values.
 func NewL2NNWith(ds *Dataset, k int, opts BuildOpts) (*L2NN, error) {
 	return core.BuildL2NNWith(ds, k, opts)
 }
 
 // NewKSI builds the Section 1.2 index over explicit sets: reporting and
 // emptiness queries on the intersection of any k of them.
-func NewKSI(sets [][]int64, k int) (*KSI, error) { return core.BuildKSI(sets, k) }
+func NewKSI(sets [][]int64, k int, opts ...Option) (*KSI, error) {
+	return core.BuildKSI(sets, k, opts...)
+}
 
 // NewKSIFromDataset treats a dataset's documents as the sets and indexes
 // pure keyword search over them.
-func NewKSIFromDataset(ds *Dataset, k int) (*KSI, error) { return core.BuildKSIFromDataset(ds, k) }
+func NewKSIFromDataset(ds *Dataset, k int, opts ...Option) (*KSI, error) {
+	return core.BuildKSIFromDataset(ds, k, opts...)
+}
+
+// checkDataset rejects datasets no index constructor can use, with an error
+// matching ErrInvalidDataset.
+func checkDataset(ds *Dataset) error {
+	if ds == nil {
+		return fmt.Errorf("%w: nil dataset", ErrInvalidDataset)
+	}
+	if ds.Len() == 0 {
+		return fmt.Errorf("%w: empty dataset", ErrInvalidDataset)
+	}
+	return nil
+}
 
 // NewInvertedIndex builds the keywords-only naive baseline.
-func NewInvertedIndex(ds *Dataset) *InvertedIndex { return invidx.Build(ds) }
+func NewInvertedIndex(ds *Dataset) (*InvertedIndex, error) {
+	if err := checkDataset(ds); err != nil {
+		return nil, err
+	}
+	return invidx.Build(ds), nil
+}
 
 // NewStructuredOnly builds the geometry-only naive baseline (a plain
 // space-partitioning tree followed by keyword filtering).
-func NewStructuredOnly(ds *Dataset) *StructuredOnly {
-	return core.BuildStructuredOnly(ds, nil)
+func NewStructuredOnly(ds *Dataset) (*StructuredOnly, error) {
+	if err := checkDataset(ds); err != nil {
+		return nil, err
+	}
+	return core.BuildStructuredOnly(ds, nil), nil
 }
 
 // Universe returns the rectangle covering all of R^d (e.g. to run a pure
@@ -248,21 +319,31 @@ type (
 // the logarithmic method (Bentley–Saxe) over the static Theorem 1 structure
 // — an extension beyond the paper, which is static-only. bufferCap tunes the
 // unindexed write buffer (0 selects the default).
-func NewDynamicORPKW(dim, k, bufferCap int) (*DynamicORPKW, error) {
-	return core.NewDynamicORPKW(dim, k, bufferCap)
+func NewDynamicORPKW(dim, k, bufferCap int, opts ...Option) (*DynamicORPKW, error) {
+	return core.NewDynamicORPKW(dim, k, bufferCap, opts...)
 }
 
 // NewTwoSI builds the Cohen–Porat-style 2-set-intersection index over a
 // dataset's documents: the O(N)-space, O(sqrt(N) (1 + sqrt(OUT)))-query
 // structure Section 3.5 of the paper credits as the framework's inspiration.
-func NewTwoSI(ds *Dataset) *TwoSI { return twosi.Build(ds) }
+func NewTwoSI(ds *Dataset) (*TwoSI, error) {
+	if err := checkDataset(ds); err != nil {
+		return nil, err
+	}
+	return twosi.Build(ds), nil
+}
 
 // NewWordParallel1D builds the word-parallel one-dimensional range+keywords
 // index of the literature line reviewed in the paper's Section 2 (Bille et
 // al. / Goodrich): per-keyword position bitmaps AND-ed 64 positions at a
 // time. The dataset must be 1-dimensional; query arity is not fixed at
 // build time.
-func NewWordParallel1D(ds *Dataset) (*WordParallel1D, error) { return bitpack.Build(ds) }
+func NewWordParallel1D(ds *Dataset) (*WordParallel1D, error) {
+	if err := checkDataset(ds); err != nil {
+		return nil, err
+	}
+	return bitpack.Build(ds)
+}
 
 // Extension and baseline index types.
 type (
@@ -282,7 +363,9 @@ type MultiK = core.MultiK
 // NewMultiK builds indexes for every keyword arity in [2, kMax]; queries
 // with one keyword use posting lists, queries beyond kMax filter through the
 // kMax index.
-func NewMultiK(ds *Dataset, kMax int) (*MultiK, error) { return core.BuildMultiK(ds, kMax) }
+func NewMultiK(ds *Dataset, kMax int, opts ...Option) (*MultiK, error) {
+	return core.BuildMultiK(ds, kMax, opts...)
+}
 
 // WriteDataset serializes a dataset to w in the library's compact,
 // checksummed binary format; ReadDataset restores it. Indexes are rebuilt
@@ -332,7 +415,9 @@ const (
 
 // NewPlanner builds all three strategies for k-keyword queries over the
 // dataset.
-func NewPlanner(ds *Dataset, k int) (*QueryPlanner, error) { return core.BuildPlanner(ds, k) }
+func NewPlanner(ds *Dataset, k int, opts ...Option) (*QueryPlanner, error) {
+	return core.BuildPlanner(ds, k, opts...)
+}
 
 // Resilience: every query accepts an ExecPolicy (via QueryOpts.Policy or the
 // NN QueryWith variants) bounding its execution by wall-clock deadline, node
@@ -359,6 +444,9 @@ var (
 	// ErrInvalidQuery wraps every query-validation failure (NaN coordinates,
 	// inverted rectangles, malformed keyword lists, arity mismatches).
 	ErrInvalidQuery = core.ErrInvalidQuery
+	// ErrInvalidDataset wraps every constructor rejection of an unusable
+	// input (nil or empty dataset), so misuse fails loudly at build time.
+	ErrInvalidDataset = core.ErrInvalidDataset
 )
 
 // PolicyFromContext derives an ExecPolicy from a context: its deadline (if

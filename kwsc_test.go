@@ -126,7 +126,7 @@ func TestPublicNearestNeighbors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _, err := nn.Query(kwsc.Point{50, 5}, 3, []kwsc.Keyword{0, 1})
+	res, _, err := nn.Query(kwsc.Point{50, 5}, 3, []kwsc.Keyword{0, 1}, kwsc.QueryOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +276,10 @@ func TestPublicExtensions(t *testing.T) {
 	}
 
 	// Cohen–Porat 2-SI.
-	cp := kwsc.NewTwoSI(ds)
+	cp, err := kwsc.NewTwoSI(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
 	got, _, err := cp.Report(0, 1)
 	if err != nil {
 		t.Fatal(err)

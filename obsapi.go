@@ -1,0 +1,108 @@
+package kwsc
+
+// Observability surface: a process-wide metrics registry fed by every index
+// family, an optional tracing hook, and a slow-query log. All of it is
+// zero-dependency and cheap enough to leave on in production — the metrics
+// path is atomic increments on pre-resolved counters, and the query hot
+// paths stay allocation-free with the registry enabled (see the
+// MetricsOn/MetricsOff benchmark pair and the alloc guard).
+//
+//	reg := kwsc.Metrics()                       // snapshot, a plain struct
+//	fmt.Println(reg.Counter(`kwsc_queries_total{family="orpkw"}`))
+//	kwsc.WriteMetricsPrometheus(os.Stdout)      // Prometheus text format
+//	kwsc.EnableSlowLog(32, 10_000)              // keep top-32 queries >= 10k ops
+//	for _, e := range kwsc.SlowQueries() { ... } // each echoes its query
+
+import (
+	"bytes"
+	"io"
+
+	"kwsc/internal/obs"
+)
+
+// Tracing and metrics types.
+type (
+	// Tracer observes query execution: Begin fires at entry of every
+	// instrumented query method, End receives the completed Span. Install
+	// process-wide with SetTracer or per-index with WithTracer. Both hooks
+	// may be called concurrently and must be cheap or buffer internally.
+	Tracer = obs.Tracer
+	// Span is one completed query: family, operation, echoed query, arity,
+	// result count, work, latency, and the policy outcome. Planner spans
+	// also carry the chosen route and per-strategy cost estimates.
+	Span = obs.Span
+	// Outcome classifies how a query ended ("ok", "deadline", "budget",
+	// "canceled", "invalid", "panic", "error").
+	Outcome = obs.Outcome
+	// SlowEntry is one retained slow query, echoing its inputs like
+	// PanicError does so it can be reproduced.
+	SlowEntry = obs.SlowEntry
+	// MetricsSnapshot is a point-in-time copy of the registry: plain maps of
+	// counters, gauges, and histograms keyed by series name.
+	MetricsSnapshot = obs.Snapshot
+	// HistogramSnapshot is one histogram's cumulative bucket counts.
+	HistogramSnapshot = obs.HistSnapshot
+)
+
+// Query outcomes reported in spans and slow-log entries.
+const (
+	OutcomeOK       = obs.OutcomeOK
+	OutcomeInvalid  = obs.OutcomeInvalid
+	OutcomeDeadline = obs.OutcomeDeadline
+	OutcomeBudget   = obs.OutcomeBudget
+	OutcomeCanceled = obs.OutcomeCanceled
+	OutcomePanic    = obs.OutcomePanic
+	OutcomeError    = obs.OutcomeError
+)
+
+// Metrics returns a snapshot of the process-wide registry: per-family query
+// and error counters, latency/work histograms, build times, dynamic-index
+// churn, batch throughput, planner route decisions, and fallback counts.
+func Metrics() MetricsSnapshot { return obs.Default().Snapshot() }
+
+// ResetMetrics zeroes every metric in the registry (counters, gauges,
+// histogram buckets). Mainly for tests and between benchmark phases.
+func ResetMetrics() { obs.Default().Reset() }
+
+// EnableMetrics turns registry updates on or off process-wide. Metrics are
+// on by default; turning them off reduces the per-query overhead to one
+// atomic load.
+func EnableMetrics(on bool) { obs.SetMetricsEnabled(on) }
+
+// MetricsEnabled reports whether registry updates are on.
+func MetricsEnabled() bool { return obs.MetricsEnabled() }
+
+// SetTracer installs t as the process-wide tracer receiving a Span for every
+// query on every instrumented index; nil uninstalls. Per-index tracers
+// (WithTracer) fire in addition to the global one.
+func SetTracer(t Tracer) { obs.SetTracer(t) }
+
+// EnableSlowLog starts retaining the top-capacity queries by work (ops) among
+// those costing at least minOps, each echoing its query inputs. capacity <= 0
+// disables the log and discards retained entries.
+func EnableSlowLog(capacity int, minOps int64) { obs.EnableSlowLog(capacity, minOps) }
+
+// SlowQueries returns the retained slow queries, most expensive first.
+func SlowQueries() []SlowEntry { return obs.SlowQueries() }
+
+// WriteMetricsJSON writes the current registry snapshot as indented JSON
+// (expvar-style: one object with counters, gauges, and histograms).
+func WriteMetricsJSON(w io.Writer) error { return obs.Default().Snapshot().WriteJSON(w) }
+
+// WriteMetricsPrometheus writes the current registry snapshot in the
+// Prometheus text exposition format (counters and gauges as-is, histograms
+// as cumulative _bucket/_sum/_count series).
+func WriteMetricsPrometheus(w io.Writer) error {
+	return obs.Default().Snapshot().WritePrometheus(w)
+}
+
+// ParseMetricsJSON parses a snapshot written by WriteMetricsJSON (or the
+// compact form benchmark runs embed), for tooling that diffs snapshots.
+func ParseMetricsJSON(data []byte) (MetricsSnapshot, error) {
+	return obs.ParseJSON(bytes.NewReader(data))
+}
+
+// ParseMetricsPrometheus parses a snapshot written by WriteMetricsPrometheus.
+func ParseMetricsPrometheus(data []byte) (MetricsSnapshot, error) {
+	return obs.ParsePrometheus(bytes.NewReader(data))
+}

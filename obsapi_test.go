@@ -1,0 +1,163 @@
+package kwsc_test
+
+// End-to-end observability through the public facade: exercising several
+// index families populates the registry with enough distinct series to
+// round-trip through both export formats, the global tracer sees every
+// query, and the slow log retains the expensive ones.
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"kwsc"
+)
+
+func buildObsFixture(t *testing.T) (*kwsc.Dataset, *kwsc.ORPKW) {
+	t.Helper()
+	objs := make([]kwsc.Object, 0, 256)
+	for i := 0; i < 256; i++ {
+		objs = append(objs, kwsc.Object{
+			Point: kwsc.Point{float64(i % 16), float64(i / 16)},
+			Doc:   []kwsc.Keyword{0, kwsc.Keyword(1 + i%3), kwsc.Keyword(4 + i%5)},
+		})
+	}
+	ds, err := kwsc.NewDataset(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := kwsc.NewORPKW(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, ix
+}
+
+func TestMetricsSnapshotRoundTrips(t *testing.T) {
+	ds, ix := buildObsFixture(t)
+	// Touch several families so the registry is populated.
+	if _, _, err := ix.Collect(kwsc.Universe(2), []kwsc.Keyword{0, 1}, kwsc.QueryOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	nn, err := kwsc.NewLinfNN(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nn.Query(kwsc.Point{8, 8}, 3, []kwsc.Keyword{0, 1}, kwsc.QueryOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	ksi, err := kwsc.NewKSIFromDataset(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ksi.Report([]kwsc.Keyword{0, 1}, kwsc.QueryOpts{}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := kwsc.Metrics()
+	if n := snap.NumSeries(); n < 12 {
+		t.Fatalf("registry has %d series, want >= 12", n)
+	}
+	if snap.Counter(`kwsc_queries_total{family="orpkw"}`) == 0 {
+		t.Fatal("orpkw queries_total must be non-zero after a query")
+	}
+	if snap.Histogram(`kwsc_query_ops{family="ksi"}`).Count == 0 {
+		t.Fatal("ksi ops histogram must have observations")
+	}
+
+	var jbuf bytes.Buffer
+	if err := kwsc.WriteMetricsJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := kwsc.ParseMetricsJSON(jbuf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var pbuf bytes.Buffer
+	if err := kwsc.WriteMetricsPrometheus(&pbuf); err != nil {
+		t.Fatal(err)
+	}
+	fromProm, err := kwsc.ParseMetricsPrometheus(pbuf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both exports reproduce the same registry state. (The live registry may
+	// have moved since snap was taken, so compare the two parses, which were
+	// written back to back; counters only move between writes if other tests
+	// run in parallel, which this package doesn't.)
+	if !reflect.DeepEqual(fromJSON, fromProm) {
+		t.Fatal("JSON and Prometheus exports disagree after parsing")
+	}
+	if fromJSON.NumSeries() < 12 {
+		t.Fatalf("round-tripped snapshot has %d series, want >= 12", fromJSON.NumSeries())
+	}
+	if !strings.Contains(pbuf.String(), "# TYPE kwsc_queries_total counter") {
+		t.Fatal("Prometheus export must carry TYPE comments")
+	}
+}
+
+type facadeTracer struct {
+	mu    sync.Mutex
+	spans []kwsc.Span
+}
+
+func (f *facadeTracer) Begin(family, op string) {}
+func (f *facadeTracer) End(sp kwsc.Span) {
+	f.mu.Lock()
+	f.spans = append(f.spans, sp)
+	f.mu.Unlock()
+}
+
+func TestGlobalTracerAndSlowLog(t *testing.T) {
+	_, ix := buildObsFixture(t)
+	tr := &facadeTracer{}
+	kwsc.SetTracer(tr)
+	defer kwsc.SetTracer(nil)
+	kwsc.EnableSlowLog(8, 1)
+	defer kwsc.EnableSlowLog(0, 0)
+
+	ids, st, err := ix.Collect(kwsc.Universe(2), []kwsc.Keyword{0, 1}, kwsc.QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.spans) != 1 {
+		t.Fatalf("global tracer saw %d spans, want 1", len(tr.spans))
+	}
+	sp := tr.spans[0]
+	if sp.Family != "orpkw" || sp.Out != len(ids) || sp.Ops != st.Ops || sp.Outcome != kwsc.OutcomeOK {
+		t.Fatalf("span disagrees with the query result: %+v", sp)
+	}
+
+	slow := kwsc.SlowQueries()
+	if len(slow) == 0 {
+		t.Fatal("slow log must retain the query")
+	}
+	if slow[0].Ops != st.Ops || !strings.Contains(slow[0].Query, "keywords=[0 1]") {
+		t.Fatalf("slow entry must reproduce the query: %+v", slow[0])
+	}
+}
+
+func TestConstructorsRejectBadDatasets(t *testing.T) {
+	empty := &kwsc.Dataset{}
+	wantInvalid := func(what string, err error) {
+		t.Helper()
+		if !errors.Is(err, kwsc.ErrInvalidDataset) {
+			t.Fatalf("%s: got %v, want ErrInvalidDataset", what, err)
+		}
+	}
+	_, err := kwsc.NewInvertedIndex(nil)
+	wantInvalid("NewInvertedIndex(nil)", err)
+	_, err = kwsc.NewStructuredOnly(empty)
+	wantInvalid("NewStructuredOnly(empty)", err)
+	_, err = kwsc.NewTwoSI(nil)
+	wantInvalid("NewTwoSI(nil)", err)
+	_, err = kwsc.NewWordParallel1D(empty)
+	wantInvalid("NewWordParallel1D(empty)", err)
+	_, err = kwsc.NewORPKW(nil, 2)
+	wantInvalid("NewORPKW(nil)", err)
+}
