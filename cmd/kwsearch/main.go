@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	kwsearch [-n objects] [-seed n]
+//	kwsearch [-n objects] [-seed n] [-durable dir]
 //
 // Commands (keywords are integer ids; 'help' lists everything):
 //
@@ -15,6 +15,14 @@
 //	isect w1 w2                  k-SI: pure keyword intersection
 //	budget nodes                 bound every query to a node-visit budget
 //	stats                        dataset and index statistics
+//
+// With -durable dir, a crash-safe dynamic index rooted at dir is opened
+// (recovering any prior state) and four more commands appear:
+//
+//	insert x y w1 w2             log + apply an insert; prints the handle
+//	del handle                   log + apply a delete
+//	drange x1 x2 y1 y2 w1 w2     query the durable index
+//	checkpoint                   snapshot now and truncate the log
 //
 // Malformed commands — wrong argument counts, unparsable numbers, inverted
 // or NaN bounds — print an error and re-prompt; the session never exits on
@@ -36,8 +44,9 @@ import (
 )
 
 var (
-	flagN    = flag.Int("n", 20000, "number of objects in the generated catalog")
-	flagSeed = flag.Int64("seed", 1, "generator seed")
+	flagN       = flag.Int("n", 20000, "number of objects in the generated catalog")
+	flagSeed    = flag.Int64("seed", 1, "generator seed")
+	flagDurable = flag.String("durable", "", "directory of a durable dynamic index (created or recovered); enables insert/del/drange/checkpoint")
 )
 
 // session holds the indexes plus the interactive execution policy.
@@ -48,6 +57,7 @@ type session struct {
 	srp *kwsc.SRPKW
 	lc  *kwsc.LCKW
 	ksi *kwsc.KSI
+	dur *kwsc.DurableORPKW
 	pol kwsc.ExecPolicy
 }
 
@@ -70,6 +80,13 @@ func main() {
 	fatal(err)
 	s.ksi, err = kwsc.NewKSIFromDataset(ds, 2)
 	fatal(err)
+	if *flagDurable != "" {
+		s.dur, err = kwsc.OpenDurable(*flagDurable, 2, 2)
+		fatal(err)
+		defer s.dur.Close()
+		fmt.Printf("durable index %q recovered: %d live objects, %d logged ops\n",
+			*flagDurable, s.dur.Len(), s.dur.LastSeq())
+	}
 	// Keep the most expensive queries of the session for the slow command.
 	kwsc.EnableSlowLog(16, 1)
 	fmt.Println("ready; type 'help' for commands, coordinates are in [0,1)")
@@ -102,6 +119,11 @@ func (s *session) dispatch(fields []string) (err error) {
 	case "help":
 		fmt.Println("range x1 x2 y1 y2 w1 w2 | near x y t w1 w2 | ball x y r w1 w2")
 		fmt.Println("line a b c w1 w2 | isect w1 w2 | budget nodes | stats | metrics | slow | quit")
+		if s.dur != nil {
+			fmt.Println("insert x y w1 w2 | del handle | drange x1 x2 y1 y2 w1 w2 | checkpoint")
+		} else {
+			fmt.Println("(start with -durable <dir> for insert/del/drange/checkpoint)")
+		}
 	case "stats":
 		sp := s.orp.Space()
 		fmt.Printf("objects=%d N=%d W=%d dim=%d\n", s.ds.Len(), s.ds.N(), s.ds.W(), s.ds.Dim())
@@ -193,6 +215,64 @@ func (s *session) dispatch(fields []string) (err error) {
 		}
 		ids, st, err := s.ksi.Report(kws(args[0], args[1]), opts)
 		report(ids, st.Ops, err)
+	case "insert":
+		if s.dur == nil {
+			return errDurableOff
+		}
+		args, err := floats(fields[1:], 4)
+		if err != nil {
+			return err
+		}
+		h, err := s.dur.Insert(kwsc.Object{
+			Point: kwsc.Point{args[0], args[1]}, Doc: kws(args[2], args[3]),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  inserted as handle %d (durable; %d live)\n", h, s.dur.Len())
+	case "del":
+		if s.dur == nil {
+			return errDurableOff
+		}
+		args, err := floats(fields[1:], 1)
+		if err != nil {
+			return err
+		}
+		ok, err := s.dur.Delete(int64(args[0]))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Printf("  handle %d is not live; nothing logged\n", int64(args[0]))
+		} else {
+			fmt.Printf("  deleted (durable; %d live)\n", s.dur.Len())
+		}
+	case "drange":
+		if s.dur == nil {
+			return errDurableOff
+		}
+		args, err := floats(fields[1:], 6)
+		if err != nil {
+			return err
+		}
+		q := &kwsc.Rect{Lo: []float64{args[0], args[2]}, Hi: []float64{args[1], args[3]}}
+		handles, st, err := s.dur.Collect(q, kws(args[4], args[5]))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %d results (%d work units)", len(handles), st.Ops)
+		if len(handles) > 0 {
+			fmt.Printf("; handles: %v", handles)
+		}
+		fmt.Println()
+	case "checkpoint":
+		if s.dur == nil {
+			return errDurableOff
+		}
+		if err := s.dur.Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Printf("  checkpoint written at op %d; log truncated\n", s.dur.LastSeq())
 	default:
 		return fmt.Errorf("unknown command %q; type 'help'", fields[0])
 	}
@@ -218,6 +298,8 @@ func printSessionMetrics() {
 		fmt.Println(l)
 	}
 }
+
+var errDurableOff = errors.New("durable index not open; start with -durable <dir>")
 
 func kws(a, b float64) []kwsc.Keyword {
 	return []kwsc.Keyword{kwsc.Keyword(a), kwsc.Keyword(b)}

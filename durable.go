@@ -1,0 +1,79 @@
+package kwsc
+
+import (
+	"time"
+
+	"kwsc/internal/wal"
+)
+
+// Durability: OpenDurable gives the dynamic ORP-KW index a write-ahead log,
+// periodic checkpoints, and crash recovery. Every insert and delete is
+// logged before it is acknowledged, so after a crash Open reconstructs the
+// exact acknowledged state: newest valid checkpoint + log replay, with a
+// torn final write truncated and any deeper corruption refused (ErrCorrupt)
+// rather than silently skipped.
+//
+//	d, err := kwsc.OpenDurable("idx.d", 2, 2) // dim=2, k=2
+//	h, err := d.Insert(obj)                   // durable once err == nil
+//	err = d.Checkpoint()                      // bound future recovery time
+//	err = d.Close()
+//	d, err = kwsc.OpenDurable("idx.d", 2, 2)  // recovers, handles stable
+
+// DurableORPKW is the crash-safe dynamic index; see OpenDurable.
+type DurableORPKW = wal.Durable
+
+// DurableOption configures OpenDurable.
+type DurableOption = wal.Option
+
+// SyncPolicy selects when the write-ahead log is fsynced — the
+// durability/throughput trade-off of WithFsyncPolicy.
+type SyncPolicy = wal.SyncPolicy
+
+// Fsync policies for WithFsyncPolicy.
+const (
+	// FsyncEveryOp fsyncs before acknowledging each operation (default):
+	// acknowledged ops survive OS crashes and power loss.
+	FsyncEveryOp = wal.SyncEveryOp
+	// FsyncInterval flushes every append immediately but fsyncs on a timer:
+	// acknowledged ops survive process crashes; an OS crash can lose up to
+	// one interval.
+	FsyncInterval = wal.SyncInterval
+	// FsyncNone never fsyncs explicitly: acknowledged ops survive process
+	// crashes only.
+	FsyncNone = wal.SyncNone
+)
+
+// ErrCorrupt reports unrecoverable log or checkpoint corruption found during
+// OpenDurable: damage that valid records follow, a sequence gap, or an
+// inapplicable record. (A torn final write is not corruption; recovery
+// truncates it silently.)
+var ErrCorrupt = wal.ErrCorrupt
+
+// ErrIndexClosed reports an operation on a closed durable index.
+var ErrIndexClosed = wal.ErrClosed
+
+// WithFsyncPolicy selects the log's fsync policy (default FsyncEveryOp).
+func WithFsyncPolicy(p SyncPolicy) DurableOption { return wal.WithSyncPolicy(p) }
+
+// WithFsyncInterval selects FsyncInterval with the given period.
+func WithFsyncInterval(d time.Duration) DurableOption { return wal.WithSyncInterval(d) }
+
+// WithAutoCheckpoint checkpoints automatically after every n operations
+// (0 disables; Checkpoint remains available).
+func WithAutoCheckpoint(n int) DurableOption { return wal.WithAutoCheckpoint(n) }
+
+// WithDurableBufferCap tunes the dynamic index's unindexed write buffer
+// (0 selects the default).
+func WithDurableBufferCap(n int) DurableOption { return wal.WithBufferCap(n) }
+
+// WithDurableBuild forwards index construction options (WithParallelism,
+// WithTracer, WithoutObs) to the underlying dynamic index.
+func WithDurableBuild(opts ...Option) DurableOption { return wal.WithBuildOptions(opts...) }
+
+// OpenDurable opens (creating or recovering) a durable dynamic ORP-KW index
+// rooted at directory dir, for dim-dimensional points and k-keyword queries;
+// dim and k must match any state already in dir. See DESIGN.md §11 for the
+// log format, checkpointing, and the recovery state machine.
+func OpenDurable(dir string, dim, k int, opts ...DurableOption) (*DurableORPKW, error) {
+	return wal.Open(dir, dim, k, opts...)
+}

@@ -1,0 +1,85 @@
+package kwsc
+
+// Durability benchmarks, snapshotted by bench-save alongside the query
+// families: WAL append throughput under each fsync policy (the cost of the
+// acknowledged-write guarantee) and recovery replay throughput (the cost of
+// reopening after a crash, which checkpointing exists to bound).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// durableObjs builds n insertable objects with 3-keyword docs.
+func durableObjs(n int) []Object {
+	r := rand.New(rand.NewSource(7))
+	objs := make([]Object, n)
+	for i := range objs {
+		perm := r.Perm(16)
+		objs[i] = Object{
+			Point: Point{r.Float64(), r.Float64()},
+			Doc:   []Keyword{Keyword(perm[0]), Keyword(perm[1]), Keyword(perm[2])},
+		}
+	}
+	return objs
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		opt  DurableOption
+	}{
+		{"fsync=none", WithFsyncPolicy(FsyncNone)},
+		{"fsync=every-op", WithFsyncPolicy(FsyncEveryOp)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			d, err := OpenDurable(b.TempDir(), 2, 2, tc.opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			objs := durableObjs(1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Insert(objs[i%len(objs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRecoveryReplay(b *testing.B) {
+	for _, ops := range []int{1 << 10, 1 << 12} {
+		b.Run(fmt.Sprintf("ops=%d", ops), func(b *testing.B) {
+			dir := b.TempDir()
+			d, err := OpenDurable(dir, 2, 2, WithFsyncPolicy(FsyncNone))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, o := range durableObjs(ops) {
+				if _, err := d.Insert(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := d.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, err := OpenDurable(dir, 2, 2, WithFsyncPolicy(FsyncNone))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if d.Len() != ops {
+					b.Fatalf("replay recovered %d objects, want %d", d.Len(), ops)
+				}
+				b.StopTimer() // close (fsync) off the clock: replay is the subject
+				d.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(ops), "replayed-ops/op")
+		})
+	}
+}

@@ -1,0 +1,69 @@
+package kwsc_test
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"kwsc"
+)
+
+func TestOpenDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := kwsc.OpenDurable(dir, 2, 2,
+		kwsc.WithFsyncPolicy(kwsc.FsyncNone),
+		kwsc.WithAutoCheckpoint(8),
+		kwsc.WithDurableBufferCap(4),
+		kwsc.WithDurableBuild(kwsc.WithParallelism(1)))
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	objs := []kwsc.Object{
+		{Point: kwsc.Point{0.1, 0.2}, Doc: []kwsc.Keyword{1, 2}},
+		{Point: kwsc.Point{0.5, 0.6}, Doc: []kwsc.Keyword{1, 2, 3}},
+		{Point: kwsc.Point{0.9, 0.9}, Doc: []kwsc.Keyword{2, 3}},
+		{Point: kwsc.Point{0.3, 0.8}, Doc: []kwsc.Keyword{1, 2}},
+	}
+	var handles []int64
+	for _, o := range objs {
+		h, err := d.Insert(o)
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		handles = append(handles, h)
+	}
+	if ok, err := d.Delete(handles[3]); err != nil || !ok {
+		t.Fatalf("Delete: %v %v", ok, err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := d.Insert(objs[0]); !errors.Is(err, kwsc.ErrIndexClosed) {
+		t.Fatalf("Insert after Close: %v, want ErrIndexClosed", err)
+	}
+
+	d2, err := kwsc.OpenDurable(dir, 2, 2)
+	if err != nil {
+		t.Fatalf("recovery OpenDurable: %v", err)
+	}
+	defer d2.Close()
+	if d2.Len() != 3 {
+		t.Fatalf("recovered Len = %d, want 3", d2.Len())
+	}
+	got, _, err := d2.Collect(kwsc.NewRect([]float64{0, 0}, []float64{1, 1}), []kwsc.Keyword{1, 2})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	want := []int64{handles[0], handles[1]} // handle 3 deleted, handle 2 lacks keyword 1
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("recovered query = %v, want %v", got, want)
+	}
+	// Dimension mismatch must be refused, not silently re-indexed.
+	if _, err := kwsc.OpenDurable(dir, 3, 2); err == nil {
+		t.Fatal("OpenDurable accepted a dim mismatch")
+	}
+}

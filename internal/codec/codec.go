@@ -100,8 +100,14 @@ func ReadDataset(r io.Reader) (*dataset.Dataset, error) {
 	if count > 1<<31 {
 		return nil, fmt.Errorf("%w: implausible object count %d", ErrCorrupt, count)
 	}
-	objs := make([]dataset.Object, count)
-	for i := range objs {
+	// Allocation is paced by the bytes actually read, never by the claimed
+	// counts alone: a corrupt 12-byte stream may declare billions of objects,
+	// but every object costs at least one byte per point coordinate and
+	// document keyword, so growing incrementally (capped initial capacity)
+	// bounds memory by the input size and fails with ErrCorrupt at the
+	// truncation point instead of attempting a gigabyte make().
+	objs := make([]dataset.Object, 0, capHint(count, 1))
+	for i := uint64(0); i < count; i++ {
 		p := make([]float64, dim)
 		for j := range p {
 			bits, err := binary.ReadUvarint(cr)
@@ -110,24 +116,11 @@ func ReadDataset(r io.Reader) (*dataset.Dataset, error) {
 			}
 			p[j] = math.Float64frombits(bits)
 		}
-		dl, err := binary.ReadUvarint(cr)
-		if err != nil || dl == 0 || dl > 1<<24 {
-			return nil, fmt.Errorf("%w: document length", ErrCorrupt)
+		doc, err := readDoc(cr)
+		if err != nil {
+			return nil, err
 		}
-		doc := make([]dataset.Keyword, dl)
-		prev := uint64(0)
-		for j := range doc {
-			d, err := binary.ReadUvarint(cr)
-			if err != nil {
-				return nil, fmt.Errorf("%w: document data", ErrCorrupt)
-			}
-			prev += d
-			if prev > math.MaxUint32 {
-				return nil, fmt.Errorf("%w: keyword overflow", ErrCorrupt)
-			}
-			doc[j] = dataset.Keyword(prev)
-		}
-		objs[i] = dataset.Object{Point: p, Doc: doc}
+		objs = append(objs, dataset.Object{Point: p, Doc: doc})
 	}
 	want := cr.h.Sum32()
 	var buf [4]byte
@@ -138,6 +131,46 @@ func ReadDataset(r io.Reader) (*dataset.Dataset, error) {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
 	return dataset.New(objs)
+}
+
+// maxCapHint caps how many elements any claimed count pre-allocates before a
+// single byte backing them has been read.
+const maxCapHint = 4096
+
+// capHint bounds the initial capacity for a length-prefixed sequence whose
+// elements cost at least minBytes each: never more than maxCapHint elements
+// up front, growth beyond that is paid for by successfully parsed input.
+func capHint(claimed uint64, minBytes int) int {
+	per := uint64(maxCapHint)
+	if minBytes > 1 {
+		per = uint64(maxCapHint / minBytes)
+	}
+	if claimed < per {
+		return int(claimed)
+	}
+	return int(per)
+}
+
+// readDoc reads one length-prefixed, delta-coded keyword list.
+func readDoc(cr *crcReader) ([]dataset.Keyword, error) {
+	dl, err := binary.ReadUvarint(cr)
+	if err != nil || dl == 0 || dl > 1<<24 {
+		return nil, fmt.Errorf("%w: document length", ErrCorrupt)
+	}
+	doc := make([]dataset.Keyword, 0, capHint(dl, 1))
+	prev := uint64(0)
+	for j := uint64(0); j < dl; j++ {
+		d, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: document data", ErrCorrupt)
+		}
+		prev += d
+		if prev > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: keyword overflow", ErrCorrupt)
+		}
+		doc = append(doc, dataset.Keyword(prev))
+	}
+	return doc, nil
 }
 
 type crcWriter struct {

@@ -1,0 +1,169 @@
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"kwsc/internal/dataset"
+)
+
+// Snapshot is the payload of a durability checkpoint: the live
+// (handle, object) entries of a dynamic index together with the log position
+// the checkpoint supersedes and the handle watermark recovery must resume
+// from. See DESIGN.md §11 for the byte-level diagram.
+//
+// Format (little-endian, varint-compressed, crc32c-terminated like the
+// dataset codec):
+//
+//	magic "KWCP" | version u8 | k uvarint | dim uvarint
+//	lastSeq uvarint | nextHandle uvarint | count uvarint
+//	per entry: handle uvarint (strictly increasing)
+//	           per-dim float64 bits uvarint | doclen uvarint | kw deltas...
+//	crc32 (Castagnoli) of everything prior
+type Snapshot struct {
+	K          int             // query keyword arity of the index
+	Dim        int             // point dimensionality
+	LastSeq    uint64          // last WAL sequence number the snapshot covers
+	NextHandle int64           // handle the next insertion will be assigned
+	Entries    []SnapshotEntry // live entries, ascending by handle
+}
+
+// SnapshotEntry is one live (handle, object) pair.
+type SnapshotEntry struct {
+	Handle int64
+	Obj    dataset.Object
+}
+
+const (
+	snapMagic   = "KWCP"
+	snapVersion = 1
+)
+
+// WriteSnapshot serializes the snapshot to w.
+func WriteSnapshot(w io.Writer, s *Snapshot) error {
+	if s.Dim < 1 || s.Dim > 64 {
+		return fmt.Errorf("codec: snapshot dimension %d outside [1, 64]", s.Dim)
+	}
+	cw := &crcWriter{w: bufio.NewWriter(w), h: crc32.New(castagnoli)}
+	if _, err := cw.Write([]byte(snapMagic)); err != nil {
+		return err
+	}
+	if err := cw.writeByte(snapVersion); err != nil {
+		return err
+	}
+	cw.writeUvarint(uint64(s.K))
+	cw.writeUvarint(uint64(s.Dim))
+	cw.writeUvarint(s.LastSeq)
+	cw.writeUvarint(uint64(s.NextHandle))
+	cw.writeUvarint(uint64(len(s.Entries)))
+	prev := int64(-1)
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		if e.Handle <= prev {
+			return fmt.Errorf("codec: snapshot handles not strictly increasing at %d", e.Handle)
+		}
+		if len(e.Obj.Point) != s.Dim {
+			return fmt.Errorf("codec: snapshot entry %d has dimension %d, want %d", i, len(e.Obj.Point), s.Dim)
+		}
+		prev = e.Handle
+		cw.writeUvarint(uint64(e.Handle))
+		for _, c := range e.Obj.Point {
+			cw.writeUvarint(math.Float64bits(c))
+		}
+		cw.writeUvarint(uint64(len(e.Obj.Doc)))
+		prevKW := uint64(0)
+		for _, kw := range e.Obj.Doc {
+			cw.writeUvarint(uint64(kw) - prevKW)
+			prevKW = uint64(kw)
+		}
+	}
+	if cw.err != nil {
+		return cw.err
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], cw.h.Sum32())
+	if _, err := cw.w.Write(buf[:]); err != nil {
+		return err
+	}
+	return cw.w.Flush()
+}
+
+// ReadSnapshot deserializes a snapshot written by WriteSnapshot, verifying
+// its checksum and structural invariants. It applies the same
+// allocation-pacing defense as ReadDataset: claimed counts never allocate
+// more than the input can back.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	cr := &crcReader{r: bufio.NewReader(r), h: crc32.New(castagnoli)}
+	head := make([]byte, len(snapMagic)+1)
+	if _, err := io.ReadFull(cr, head); err != nil {
+		return nil, fmt.Errorf("%w: reading snapshot header", ErrCorrupt)
+	}
+	if string(head[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	if head[len(snapMagic)] != snapVersion {
+		return nil, fmt.Errorf("codec: unsupported snapshot version %d", head[len(snapMagic)])
+	}
+	k, err := binary.ReadUvarint(cr)
+	if err != nil || k < 2 || k > 64 {
+		return nil, fmt.Errorf("%w: snapshot arity", ErrCorrupt)
+	}
+	dim, err := binary.ReadUvarint(cr)
+	if err != nil || dim == 0 || dim > 64 {
+		return nil, fmt.Errorf("%w: snapshot dimension", ErrCorrupt)
+	}
+	lastSeq, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: snapshot sequence", ErrCorrupt)
+	}
+	nextHandle, err := binary.ReadUvarint(cr)
+	if err != nil || nextHandle > math.MaxInt64 {
+		return nil, fmt.Errorf("%w: snapshot handle watermark", ErrCorrupt)
+	}
+	count, err := binary.ReadUvarint(cr)
+	if err != nil || count > 1<<31 {
+		return nil, fmt.Errorf("%w: snapshot entry count", ErrCorrupt)
+	}
+	s := &Snapshot{
+		K: int(k), Dim: int(dim), LastSeq: lastSeq, NextHandle: int64(nextHandle),
+		Entries: make([]SnapshotEntry, 0, capHint(count, 1)),
+	}
+	prev := int64(-1)
+	for i := uint64(0); i < count; i++ {
+		h, err := binary.ReadUvarint(cr)
+		if err != nil || h > math.MaxInt64 {
+			return nil, fmt.Errorf("%w: snapshot entry handle", ErrCorrupt)
+		}
+		handle := int64(h)
+		if handle <= prev || handle >= s.NextHandle {
+			return nil, fmt.Errorf("%w: snapshot handle %d out of order or past watermark", ErrCorrupt, handle)
+		}
+		prev = handle
+		p := make([]float64, dim)
+		for j := range p {
+			bits, err := binary.ReadUvarint(cr)
+			if err != nil {
+				return nil, fmt.Errorf("%w: snapshot point data", ErrCorrupt)
+			}
+			p[j] = math.Float64frombits(bits)
+		}
+		doc, err := readDoc(cr)
+		if err != nil {
+			return nil, err
+		}
+		s.Entries = append(s.Entries, SnapshotEntry{Handle: handle, Obj: dataset.Object{Point: p, Doc: doc}})
+	}
+	want := cr.h.Sum32()
+	var buf [4]byte
+	if _, err := io.ReadFull(cr.r, buf[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing snapshot checksum", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint32(buf[:]) != want {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	return s, nil
+}

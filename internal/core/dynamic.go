@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
@@ -32,14 +33,33 @@ type DynamicORPKW struct {
 	nextHandle int64
 	live       int
 
-	fam    family
-	tracer obs.Tracer
-	bopts  BuildOpts // construction options for bucket rebuilds
+	fam     family
+	tracer  obs.Tracer
+	bopts   BuildOpts // construction options for bucket rebuilds
+	journal Journal
 
 	// Last values pushed to the shared structural gauges; the gauges are
 	// updated with deltas so several dynamic indexes aggregate coherently.
-	obsNumBuckets, obsLive, obsBuffered int
+	obsNumBuckets, obsLive, obsBuffered, obsTombstones int
 }
+
+// Journal receives every mutation before it is applied, so a durability
+// layer can make the operation recoverable first. A non-nil error vetoes the
+// mutation: the index stays unchanged and the error is returned to the
+// caller — an op is acknowledged only after its journal write succeeded.
+// The hooks run synchronously on the mutating goroutine.
+type Journal interface {
+	// LogInsert records the insertion of obj under the given (already
+	// assigned) stable handle.
+	LogInsert(handle int64, obj dataset.Object) error
+	// LogDelete records the deletion of the given live handle.
+	LogDelete(handle int64) error
+}
+
+// SetJournal installs (or, with nil, removes) the mutation journal. It is
+// meant to be called once, right after construction or recovery, before the
+// index takes writes.
+func (d *DynamicORPKW) SetJournal(j Journal) { d.journal = j }
 
 type dynEntry struct {
 	handle int64
@@ -73,7 +93,7 @@ func NewDynamicORPKW(dim, k, bufferCap int, opts ...BuildOption) (*DynamicORPKW,
 }
 
 // syncObs pushes structural deltas (bucket count, live objects, buffered
-// writes) to the shared gauges; called after every mutation.
+// writes, tombstones) to the shared gauges; called after every mutation.
 func (d *DynamicORPKW) syncObs() {
 	if d.fam == famNone {
 		return
@@ -86,6 +106,9 @@ func (d *DynamicORPKW) syncObs() {
 	buf := len(d.buffer)
 	dynBuffered.Add(int64(buf - d.obsBuffered))
 	d.obsBuffered = buf
+	tomb := len(d.deleted)
+	dynTombstones.Add(int64(tomb - d.obsTombstones))
+	d.obsTombstones = tomb
 }
 
 // Len returns the number of live objects.
@@ -93,6 +116,13 @@ func (d *DynamicORPKW) Len() int { return d.live }
 
 // K returns the query keyword arity.
 func (d *DynamicORPKW) K() int { return d.k }
+
+// NextHandle returns the handle the next insertion will be assigned.
+func (d *DynamicORPKW) NextHandle() int64 { return d.nextHandle }
+
+// Tombstones returns the number of deleted-but-unpurged bucket entries
+// (exposed for the compaction regression tests and instrumentation).
+func (d *DynamicORPKW) Tombstones() int { return len(d.deleted) }
 
 // Insert adds an object and returns its stable handle.
 func (d *DynamicORPKW) Insert(obj dataset.Object) (int64, error) {
@@ -103,8 +133,19 @@ func (d *DynamicORPKW) Insert(obj dataset.Object) (int64, error) {
 		return 0, fmt.Errorf("core: object with empty document")
 	}
 	h := d.nextHandle
+	// The document copy is normalized (sorted, de-duplicated) immediately —
+	// not deferred to the first merge — so the buffer, the journal, and the
+	// bucket datasets all see the same canonical form.
+	cp := dataset.Object{
+		Point: obj.Point.Clone(),
+		Doc:   dataset.NormalizeDoc(append([]dataset.Keyword(nil), obj.Doc...)),
+	}
+	if d.journal != nil {
+		if err := d.journal.LogInsert(h, cp); err != nil {
+			return 0, err
+		}
+	}
 	d.nextHandle++
-	cp := dataset.Object{Point: obj.Point.Clone(), Doc: append([]dataset.Keyword(nil), obj.Doc...)}
 	d.buffer = append(d.buffer, dynEntry{handle: h, obj: cp})
 	d.live++
 	if d.fam != famNone {
@@ -129,44 +170,59 @@ func (d *DynamicORPKW) Delete(handle int64) (bool, error) {
 	if _, gone := d.deleted[handle]; gone {
 		return false, nil
 	}
-	// Buffer entries are removed in place.
+	// Locate the handle first — in the buffer or in some bucket — so the
+	// journal only ever records deletions of live handles.
+	bufIdx := -1
 	for i := range d.buffer {
 		if d.buffer[i].handle == handle {
-			d.buffer = append(d.buffer[:i], d.buffer[i+1:]...)
-			d.live--
-			if d.fam != famNone {
-				dynDeletes.Inc()
-			}
-			d.syncObs()
-			return true, nil
-		}
-	}
-	// Confirm the handle exists in some bucket before tombstoning.
-	found := false
-	for _, b := range d.buckets {
-		if b == nil {
-			continue
-		}
-		for i := range b.entries {
-			if b.entries[i].handle == handle {
-				found = true
-				break
-			}
-		}
-		if found {
+			bufIdx = i
 			break
 		}
 	}
-	if !found {
-		return false, nil
+	if bufIdx < 0 {
+		found := false
+		for _, b := range d.buckets {
+			if b == nil {
+				continue
+			}
+			for i := range b.entries {
+				if b.entries[i].handle == handle {
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			return false, nil
+		}
+	}
+	if d.journal != nil {
+		if err := d.journal.LogDelete(handle); err != nil {
+			return false, err
+		}
+	}
+	if bufIdx >= 0 {
+		// Buffer entries are removed in place.
+		d.buffer = append(d.buffer[:bufIdx], d.buffer[bufIdx+1:]...)
+		d.live--
+		if d.fam != famNone {
+			dynDeletes.Inc()
+		}
+		d.syncObs()
+		return true, nil
 	}
 	d.deleted[handle] = struct{}{}
 	d.live--
 	if d.fam != famNone {
 		dynDeletes.Inc()
 	}
-	// Rebuild when tombstones dominate.
-	if len(d.deleted) > d.live {
+	// Compact when tombstones exceed half the live count: merges only purge
+	// the buckets they touch, so without this trigger a delete-heavy workload
+	// leaks tombstones (and their map memory) indefinitely.
+	if 2*len(d.deleted) > d.live {
 		if err := d.rebuildAll(); err != nil {
 			d.syncObs()
 			return true, err
@@ -406,6 +462,74 @@ func docHasAll(doc, ws []dataset.Keyword) bool {
 		}
 	}
 	return true
+}
+
+// DynEntry is one live (handle, object) pair of a dynamic index — the unit
+// of a durability snapshot.
+type DynEntry struct {
+	Handle int64
+	Obj    dataset.Object
+}
+
+// Snapshot returns every live entry in ascending handle order. The returned
+// objects alias the index's internal copies; callers must treat them as
+// read-only and must not mutate the index while holding the slice.
+func (d *DynamicORPKW) Snapshot() []DynEntry {
+	out := make([]DynEntry, 0, d.live)
+	for i := range d.buffer {
+		out = append(out, DynEntry{Handle: d.buffer[i].handle, Obj: d.buffer[i].obj})
+	}
+	for _, b := range d.buckets {
+		if b == nil {
+			continue
+		}
+		for i := range b.entries {
+			e := &b.entries[i]
+			if _, gone := d.deleted[e.handle]; gone {
+				continue
+			}
+			out = append(out, DynEntry{Handle: e.handle, Obj: e.obj})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Handle < out[b].Handle })
+	return out
+}
+
+// RestoreDynamicORPKW rebuilds a dynamic index from a durability snapshot:
+// the live entries (any order; they are sorted by handle) plus the
+// next-handle watermark, which must exceed every entry's handle so that
+// handles assigned after recovery never collide with restored ones.
+func RestoreDynamicORPKW(dim, k, bufferCap int, entries []DynEntry, nextHandle int64, opts ...BuildOption) (*DynamicORPKW, error) {
+	d, err := NewDynamicORPKW(dim, k, bufferCap, opts...)
+	if err != nil {
+		return nil, err
+	}
+	sorted := append([]DynEntry(nil), entries...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Handle < sorted[b].Handle })
+	for i, e := range sorted {
+		if e.Handle < 0 || e.Handle >= nextHandle {
+			return nil, fmt.Errorf("core: snapshot handle %d outside [0, %d)", e.Handle, nextHandle)
+		}
+		if i > 0 && e.Handle == sorted[i-1].Handle {
+			return nil, fmt.Errorf("core: duplicate snapshot handle %d", e.Handle)
+		}
+		if len(e.Obj.Point) != dim {
+			return nil, fmt.Errorf("core: snapshot object dimension %d, index dimension %d", len(e.Obj.Point), dim)
+		}
+		if len(e.Obj.Doc) == 0 {
+			return nil, fmt.Errorf("core: snapshot object with empty document")
+		}
+		d.buffer = append(d.buffer, dynEntry{handle: e.Handle, obj: e.Obj})
+		d.live++
+		if len(d.buffer) >= d.bufferCap {
+			if err := d.carry(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	d.nextHandle = nextHandle
+	d.syncObs()
+	return d, nil
 }
 
 // expectedBuckets returns the binary-counter bucket count for n entries and

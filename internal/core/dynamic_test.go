@@ -241,6 +241,51 @@ func TestDynamicBufferDeletion(t *testing.T) {
 	}
 }
 
+// TestDynamicTombstoneCompaction is the regression test for the tombstone
+// leak: deletes against bucketed entries used to accumulate in the `deleted`
+// map (and the shared fleet gauge) until a merge happened to touch them. The
+// index must now compact as soon as tombstones exceed half the live count.
+func TestDynamicTombstoneCompaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d, err := NewDynamicORPKW(2, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gauge0 := dynTombstones.Load()
+	var handles []int64
+	for i := 0; i < 256; i++ { // multiple of bufferCap: everything bucketed
+		h, err := d.Insert(randObj(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	maxTomb := 0
+	for _, h := range handles[:200] {
+		ok, err := d.Delete(h)
+		if err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", h, ok, err)
+		}
+		if tomb := d.Tombstones(); tomb > maxTomb {
+			maxTomb = tomb
+		}
+		if 2*d.Tombstones() > d.Len() {
+			t.Fatalf("tombstones %d exceed half the live count %d after compaction threshold",
+				d.Tombstones(), d.Len())
+		}
+	}
+	if maxTomb == 0 {
+		t.Fatal("workload never tombstoned a bucketed entry; test is vacuous")
+	}
+	if d.Tombstones() >= maxTomb {
+		t.Fatalf("tombstone map never shrank (now %d, peak %d)", d.Tombstones(), maxTomb)
+	}
+	// The shared fleet gauge must track the map, not leak monotonically.
+	if got, want := dynTombstones.Load()-gauge0, int64(d.Tombstones()); got != want {
+		t.Fatalf("tombstone gauge delta %d, map size %d", got, want)
+	}
+}
+
 func TestExpectedBucketsHelper(t *testing.T) {
 	if expectedBuckets(0, 8) != 0 {
 		t.Fatal("zero entries, zero buckets")

@@ -71,6 +71,11 @@ func DisarmAllFailpoints() {
 	fpArmed.Store(0)
 }
 
+// Failpoint runs the named site's armed action, if any. It is exported so
+// sibling packages hosting their own sites (the wal durability layer) share
+// one registry with the query-path sites above.
+func Failpoint(name string) { failpoint(name) }
+
 // failpoint runs the site's armed action, if any.
 func failpoint(name string) {
 	if fpArmed.Load() == 0 {

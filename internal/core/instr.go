@@ -93,13 +93,14 @@ func init() {
 // updated with deltas so several indexes share them coherently as fleet
 // totals.
 var (
-	dynInserts  = obs.Default().Counter("kwsc_dynamic_inserts_total")
-	dynDeletes  = obs.Default().Counter("kwsc_dynamic_deletes_total")
-	dynCarries  = obs.Default().Counter("kwsc_dynamic_carries_total")
-	dynRebuilds = obs.Default().Counter("kwsc_dynamic_rebuilds_total")
-	dynBuckets  = obs.Default().Gauge("kwsc_dynamic_buckets")
-	dynLive     = obs.Default().Gauge("kwsc_dynamic_live_objects")
-	dynBuffered = obs.Default().Gauge("kwsc_dynamic_buffered")
+	dynInserts    = obs.Default().Counter("kwsc_dynamic_inserts_total")
+	dynDeletes    = obs.Default().Counter("kwsc_dynamic_deletes_total")
+	dynCarries    = obs.Default().Counter("kwsc_dynamic_carries_total")
+	dynRebuilds   = obs.Default().Counter("kwsc_dynamic_rebuilds_total")
+	dynBuckets    = obs.Default().Gauge("kwsc_dynamic_buckets")
+	dynLive       = obs.Default().Gauge("kwsc_dynamic_live_objects")
+	dynBuffered   = obs.Default().Gauge("kwsc_dynamic_buffered")
+	dynTombstones = obs.Default().Gauge("kwsc_dynamic_tombstones")
 
 	batchRuns    = obs.Default().Counter("kwsc_batch_runs_total")
 	batchQueries = obs.Default().Counter("kwsc_batch_queries_total")

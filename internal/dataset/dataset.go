@@ -57,8 +57,7 @@ func New(objs []Object) (*Dataset, error) {
 		if len(o.Doc) == 0 {
 			return nil, fmt.Errorf("dataset: object %d has an empty document", i)
 		}
-		sort.Slice(o.Doc, func(a, b int) bool { return o.Doc[a] < o.Doc[b] })
-		o.Doc = dedupe(o.Doc)
+		o.Doc = NormalizeDoc(o.Doc)
 		ds.n += int64(len(o.Doc))
 		if last := o.Doc[len(o.Doc)-1]; last >= maxW {
 			maxW = last + 1
@@ -164,7 +163,11 @@ func (ds *Dataset) Filter(q geom.Region, ws []Keyword) []int32 {
 	return out
 }
 
-func dedupe(ws []Keyword) []Keyword {
+// NormalizeDoc sorts ws in place and removes duplicates, returning the
+// (possibly shortened) slice — the canonical document form every index and
+// codec operates on. ws must be non-empty.
+func NormalizeDoc(ws []Keyword) []Keyword {
+	sort.Slice(ws, func(a, b int) bool { return ws[a] < ws[b] })
 	out := ws[:1]
 	for _, w := range ws[1:] {
 		if w != out[len(out)-1] {

@@ -1,0 +1,68 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+)
+
+// scanFrame parses the frame starting at data[off:]. It returns the payload
+// (aliasing data) and the offset of the next frame. Errors:
+//
+//	io.EOF      — off is exactly the end of data (clean end of log)
+//	errTorn     — the remaining bytes cannot hold the claimed frame: either
+//	              a partial header or a body cut short (a torn write)
+//	ErrCorrupt  — the header is complete but the length is implausible or
+//	              the checksum does not match (bit rot / overwrite)
+//
+// Recovery treats errTorn and ErrCorrupt identically at the log's tail
+// (truncate) and fatally everywhere else; the distinction is kept for
+// diagnostics.
+func scanFrame(data []byte, off int) (payload []byte, next int, err error) {
+	rem := len(data) - off
+	if rem == 0 {
+		return nil, off, io.EOF
+	}
+	if rem < frameHeader {
+		return nil, off, errTorn
+	}
+	length := int(binary.LittleEndian.Uint32(data[off:]))
+	if length == 0 || length > maxFramePayload {
+		return nil, off, ErrCorrupt
+	}
+	if rem < frameHeader+length {
+		return nil, off, errTorn
+	}
+	want := binary.LittleEndian.Uint32(data[off+4:])
+	payload = data[off+frameHeader : off+frameHeader+length]
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, off, ErrCorrupt
+	}
+	return payload, off + frameHeader + length, nil
+}
+
+// errTorn marks a frame cut short by a torn write; see scanFrame.
+var errTorn = errorString("wal: torn frame")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// anyValidFrameAfter reports whether any byte offset past `from` starts a
+// checksum-valid frame. Recovery uses it to distinguish a torn tail (nothing
+// valid follows the damage — safe to truncate) from mid-log corruption
+// (valid frames follow — truncating would silently drop acknowledged
+// operations, so recovery must refuse instead).
+func anyValidFrameAfter(data []byte, from int) bool {
+	for off := from; off+frameHeader <= len(data); off++ {
+		length := int(binary.LittleEndian.Uint32(data[off:]))
+		if length == 0 || length > maxFramePayload || off+frameHeader+length > len(data) {
+			continue
+		}
+		body := data[off+frameHeader : off+frameHeader+length]
+		if crc32.Checksum(body, castagnoli) == binary.LittleEndian.Uint32(data[off+4:]) {
+			return true
+		}
+	}
+	return false
+}

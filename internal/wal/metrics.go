@@ -1,0 +1,21 @@
+package wal
+
+import "kwsc/internal/obs"
+
+// Durability metrics, registered in the same process-wide registry as the
+// query-path families (obsapi.go): append/fsync throughput, checkpoint
+// cadence and duration, and recovery replay counters — enough to alarm on a
+// stuck fsync loop or a recovery that silently truncated a tail.
+var (
+	walAppends     = obs.Default().Counter("kwsc_wal_appends_total")
+	walAppendBytes = obs.Default().Counter("kwsc_wal_append_bytes_total")
+	walFsyncs      = obs.Default().Counter("kwsc_wal_fsyncs_total")
+
+	walCheckpoints  = obs.Default().Counter("kwsc_wal_checkpoints_total")
+	walCheckpointNs = obs.Default().Histogram("kwsc_wal_checkpoint_ns")
+
+	walRecoveries      = obs.Default().Counter("kwsc_wal_recoveries_total")
+	walReplayedRecords = obs.Default().Counter("kwsc_wal_recovery_replayed_records_total")
+	walTornTruncations = obs.Default().Counter("kwsc_wal_recovery_torn_tail_truncations_total")
+	walRecoveryNs      = obs.Default().Histogram("kwsc_wal_recovery_ns")
+)

@@ -1,0 +1,177 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"kwsc/internal/core"
+)
+
+// recovered is the outcome of a directory recovery: the reconstructed index,
+// the last applied sequence number, and the segment new appends go to.
+type recovered struct {
+	idx       *core.DynamicORPKW
+	lastSeq   uint64
+	segPath   string
+	replayed  int64
+	truncated bool
+}
+
+// recoverDir reconstructs the dynamic index from the durability directory:
+// newest valid checkpoint first, then an in-order replay of every log record
+// after it. The recovery state machine (DESIGN.md §11):
+//
+//	SCAN      list checkpoints (desc) and segments (asc); drop *.tmp litter
+//	RESTORE   load the newest checkpoint that validates; corrupt or torn
+//	          checkpoints are skipped (an older one plus a longer replay is
+//	          always consistent, because segments are only deleted after the
+//	          checkpoint superseding them is durable)
+//	REPLAY    scan frames across segments in sequence order; skip records a
+//	          checkpoint supersedes, apply the rest; any sequence gap,
+//	          handle mismatch, or inapplicable record is ErrCorrupt
+//	TORN-TAIL a damaged frame with no valid frame after it, in the final
+//	          segment, truncates the file there; damage anywhere else fails
+//	          recovery — truncation must never drop an acknowledged op that
+//	          a later valid frame proves was followed by more history
+func recoverDir(dir string, dim, k int, cfg config) (*recovered, error) {
+	start := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var ckptSeqs, segSeqs []uint64
+	for _, de := range names {
+		name := de.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// Litter from a checkpoint that crashed before its rename; it
+			// was never the commit point, so it is safe to drop.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if s, ok := parseSeq(name, "checkpoint-", ".ckpt"); ok {
+			ckptSeqs = append(ckptSeqs, s)
+		}
+		if s, ok := parseSeq(name, "wal-", ".log"); ok {
+			segSeqs = append(segSeqs, s)
+		}
+	}
+	sort.Slice(ckptSeqs, func(a, b int) bool { return ckptSeqs[a] > ckptSeqs[b] })
+	sort.Slice(segSeqs, func(a, b int) bool { return segSeqs[a] < segSeqs[b] })
+
+	// RESTORE: newest checkpoint that validates.
+	var idx *core.DynamicORPKW
+	base := uint64(0)
+	for _, cs := range ckptSeqs {
+		snap, err := readCheckpointFile(checkpointPath(dir, cs))
+		if err != nil {
+			continue // damaged checkpoint: fall back to an older one + replay
+		}
+		if snap.K != k || snap.Dim != dim {
+			return nil, fmt.Errorf("wal: checkpoint is for k=%d dim=%d, index opened with k=%d dim=%d",
+				snap.K, snap.Dim, k, dim)
+		}
+		entries := make([]core.DynEntry, len(snap.Entries))
+		for i, e := range snap.Entries {
+			entries[i] = core.DynEntry{Handle: e.Handle, Obj: e.Obj}
+		}
+		idx, err = core.RestoreDynamicORPKW(dim, k, cfg.bufferCap, entries, snap.NextHandle, cfg.build...)
+		if err != nil {
+			return nil, fmt.Errorf("wal: restoring checkpoint %d: %w", cs, err)
+		}
+		base = snap.LastSeq
+		break
+	}
+	if idx == nil {
+		var err error
+		idx, err = core.NewDynamicORPKW(dim, k, cfg.bufferCap, cfg.build...)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// REPLAY.
+	rec := &recovered{idx: idx}
+	expected := base + 1
+	for si, ss := range segSeqs {
+		path := segmentPath(dir, ss)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		off := 0
+		for {
+			payload, next, serr := scanFrame(data, off)
+			if serr == io.EOF {
+				break
+			}
+			if serr != nil {
+				if si == len(segSeqs)-1 && !anyValidFrameAfter(data, off+1) {
+					// TORN-TAIL: nothing valid follows the damage.
+					if terr := os.Truncate(path, int64(off)); terr != nil {
+						return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, terr)
+					}
+					walTornTruncations.Inc()
+					rec.truncated = true
+					break
+				}
+				return nil, fmt.Errorf("%w: damaged frame at %s offset %d precedes valid frames (%v)",
+					ErrCorrupt, path, off, serr)
+			}
+			r, rerr := decodeRecord(payload)
+			if rerr != nil {
+				// The frame checksum held but the payload is structurally
+				// invalid: this is never a torn write, so refuse.
+				return nil, fmt.Errorf("wal: %s offset %d: %w", path, off, rerr)
+			}
+			off = next
+			if r.seq <= base {
+				continue // superseded by the checkpoint
+			}
+			if r.seq != expected {
+				return nil, fmt.Errorf("%w: sequence gap: record %d where %d was expected (%s)",
+					ErrCorrupt, r.seq, expected, path)
+			}
+			core.Failpoint(FPReplay)
+			switch r.op {
+			case opInsert:
+				h, err := idx.Insert(r.obj)
+				if err != nil {
+					return nil, fmt.Errorf("wal: replaying insert seq %d: %w", r.seq, err)
+				}
+				if h != r.handle {
+					return nil, fmt.Errorf("%w: replayed insert seq %d produced handle %d, logged %d",
+						ErrCorrupt, r.seq, h, r.handle)
+				}
+			case opDelete:
+				ok, err := idx.Delete(r.handle)
+				if err != nil {
+					return nil, fmt.Errorf("wal: replaying delete seq %d: %w", r.seq, err)
+				}
+				if !ok {
+					return nil, fmt.Errorf("%w: replayed delete seq %d of unknown handle %d",
+						ErrCorrupt, r.seq, r.handle)
+				}
+			}
+			expected++
+			rec.replayed++
+		}
+	}
+	rec.lastSeq = expected - 1
+	if len(segSeqs) > 0 {
+		rec.segPath = segmentPath(dir, segSeqs[len(segSeqs)-1])
+	} else {
+		rec.segPath = segmentPath(dir, rec.lastSeq+1)
+	}
+	walRecoveries.Inc()
+	walReplayedRecords.Add(rec.replayed)
+	walRecoveryNs.Observe(int64(time.Since(start)))
+	return rec, nil
+}
