@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build test race vet cover bench bench-save bench-compare check crash fuzz-smoke repro repro-quick examples clean
+.PHONY: all build test race vet cover bench bench-1m bench-save bench-compare check crash fuzz-smoke repro repro-quick examples clean
 
 all: build test
 
@@ -26,13 +26,15 @@ crash:
 	$(GO) test -race -run 'Crash' ./internal/wal/
 
 # Short native-fuzz smoke over the untrusted-input decoders: the dataset
-# codec, the checkpoint codec, and WAL recovery. Each target runs briefly;
-# use `go test -fuzz <name> -fuzztime 5m ./internal/...` for a real session.
+# codec, the checkpoint codec, WAL recovery, and the delta-block codec behind
+# the flat layout's packed lists. Each target runs briefly; use
+# `go test -fuzz <name> -fuzztime 5m ./internal/...` for a real session.
 FUZZ_TIME ?= 5s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadDataset$$' -fuzztime $(FUZZ_TIME) ./internal/codec/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSnapshot$$' -fuzztime $(FUZZ_TIME) ./internal/codec/
 	$(GO) test -run '^$$' -fuzz '^FuzzReplayWAL$$' -fuzztime $(FUZZ_TIME) ./internal/wal/
+	$(GO) test -run '^$$' -fuzz '^FuzzPackDeltas$$' -fuzztime $(FUZZ_TIME) ./internal/bitpack/
 
 build:
 	$(GO) build ./...
@@ -63,9 +65,20 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# The N=1M tier: the E1 conjunctive query at a million objects in both
+# layouts, with the bytes-resident series. Opt-in because the two builds
+# take minutes; 20 timed iterations is plenty once the index is up.
+bench-1m:
+	KWSC_BENCH_1M=1 $(GO) test -run '^$$' -bench '^BenchmarkE1ORPKW2D1M$$' \
+		-benchmem -benchtime=20x -timeout 60m .
+
 # The tier-1 bench families snapshotted by bench-save / checked by
 # bench-compare; the MetricsOn/Off pair keeps the observability overhead and
-# the zero-alloc metrics-on property in the perf trajectory.
+# the zero-alloc metrics-on property in the perf trajectory. The
+# BenchmarkE1ORPKW2D / BenchmarkE2ORPKW3D prefixes deliberately also match
+# the Flat and Resident variants (bench_flat_test.go), so the ptr/flat ns/op
+# and bytes-resident pairs land in every snapshot; the 1M tier matches too
+# but self-skips unless KWSC_BENCH_1M is set (see bench-1m).
 BENCH_TIME ?= 200x
 BENCH_REGEX = ^(BenchmarkE1ORPKW2D|BenchmarkE2ORPKW3D|BenchmarkORPKW2DCollect|BenchmarkORPKW2DCollectInto|BenchmarkORPKW2DCollectIntoMetricsOn|BenchmarkORPKW2DCollectIntoMetricsOff|BenchmarkBuildORPKW|BenchmarkBuildLCKW|BenchmarkWALAppend|BenchmarkRecoveryReplay)
 

@@ -1,0 +1,143 @@
+package kwsc
+
+// Flat-layout benchmark series (DESIGN.md Section 12): the E1/E2 conjunctive
+// workloads re-run with WithFlatLayout, plus a bytes-resident series that
+// reports the live heap each built index retains. The pointer-layout
+// counterparts live in bench_test.go; cmd/benchsave parses the custom
+// "bytes-resident" metric into the snapshot's bytes_resident field so the
+// before/after pair can be diffed across commits.
+//
+// The N=1M tier is opt-in via KWSC_BENCH_1M=1 (`make bench-1m`): building a
+// million-object index takes minutes and has no place in the default
+// tier-1 bench sweep.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// residentAfter runs build between two GC-settled heap readings and returns
+// the built value plus the live bytes it retains. The forced collections
+// make HeapAlloc a resident-set measure rather than an allocation counter:
+// everything the build churned through and dropped has been reclaimed by the
+// second reading, so the delta is (up to unrelated background noise) the
+// index itself.
+func residentAfter[T any](build func() T) (T, int64) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	ix := build()
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	resident := int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+	if resident < 0 {
+		resident = 0
+	}
+	return ix, resident
+}
+
+// benchE1Collect is the shared body of the E1 pointer/flat series: build at
+// (n, k) with the given options, report resident bytes, then measure the
+// planted conjunctive query.
+func benchE1Collect(b *testing.B, n, k int, opts ...Option) {
+	ds, kws, region := plantedFixture(1, n, 2, k, 64, n/8)
+	ix, resident := residentAfter(func() *ORPKW {
+		ix, err := NewORPKW(ds, k, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ix
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, _, err := ix.Collect(region, kws, QueryOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != 64 {
+			b.Fatalf("OUT drifted: %d", len(got))
+		}
+	}
+	// After the loop: ResetTimer clears extra metrics (go1.24), so the
+	// report must come last.
+	b.ReportMetric(float64(resident), "bytes-resident")
+}
+
+// BenchmarkE1ORPKW2DFlat is BenchmarkE1ORPKW2D with the flat layout. The
+// shared BenchmarkE1ORPKW2D name prefix puts it in the tier-1 bench family,
+// and identical sub-names make the ptr/flat ns/op comparison a same-suffix
+// diff between the two families.
+func BenchmarkE1ORPKW2DFlat(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 14, 1 << 16} {
+		for _, k := range []int{2, 3} {
+			b.Run(fmt.Sprintf("N=%d/k=%d", n, k), func(b *testing.B) {
+				benchE1Collect(b, n, k, WithFlatLayout())
+			})
+		}
+	}
+}
+
+// BenchmarkE1ORPKW2DResident is the pointer-layout bytes-resident
+// counterpart at the benchmark tier sizes; the ns/op numbers come from
+// BenchmarkE1ORPKW2D, which this deliberately leaves untouched so its series
+// stays comparable against committed baselines.
+func BenchmarkE1ORPKW2DResident(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 14, 1 << 16} {
+		for _, k := range []int{2, 3} {
+			b.Run(fmt.Sprintf("N=%d/k=%d", n, k), func(b *testing.B) {
+				benchE1Collect(b, n, k)
+			})
+		}
+	}
+}
+
+// BenchmarkE2ORPKW3DFlat is BenchmarkE2ORPKW3D with the flat layout: the
+// dimension-reduction tree's secondary frameworks all flatten, exercising
+// the zigzag codec on non-id-sorted materialized lists.
+func BenchmarkE2ORPKW3DFlat(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 13} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			ds, kws, region := plantedFixture(4, n, 3, 2, 64, n/8)
+			ix, resident := residentAfter(func() *ORPKWHigh {
+				ix, err := NewORPKWHigh(ds, 2, WithFlatLayout())
+				if err != nil {
+					b.Fatal(err)
+				}
+				return ix
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ix.Collect(region, kws, QueryOpts{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(resident), "bytes-resident")
+		})
+	}
+}
+
+// --- N=1M tier (opt-in: KWSC_BENCH_1M=1, `make bench-1m`) --------------------
+
+// BenchmarkE1ORPKW2D1M runs the E1 conjunctive query at a million objects in
+// both layouts. At this size the pointer tree's working set is far past L3,
+// so the flat layout's contiguous arrays and block-decoded lists show their
+// largest relative gain; the bytes-resident pair quantifies the compression.
+func BenchmarkE1ORPKW2D1M(b *testing.B) {
+	if os.Getenv("KWSC_BENCH_1M") == "" {
+		b.Skip("set KWSC_BENCH_1M=1 (or run `make bench-1m`) for the N=1M tier")
+	}
+	const n = 1 << 20
+	for _, layout := range []struct {
+		name string
+		opts []Option
+	}{
+		{"ptr", nil},
+		{"flat", []Option{WithFlatLayout()}},
+	} {
+		b.Run(fmt.Sprintf("N=%d/k=2/%s", n, layout.name), func(b *testing.B) {
+			benchE1Collect(b, n, 2, layout.opts...)
+		})
+	}
+}

@@ -15,13 +15,17 @@ import (
 	"strings"
 )
 
-// Record is one benchmark measurement.
+// Record is one benchmark measurement. BytesResident captures the custom
+// "bytes-resident" metric the flat-layout benchmarks report via
+// b.ReportMetric: the live heap the built index retains, as opposed to
+// B/op allocation churn.
 type Record struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name          string  `json:"name"`
+	Iterations    int64   `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp   int64   `json:"allocs_per_op,omitempty"`
+	BytesResident int64   `json:"bytes_resident,omitempty"`
 }
 
 // SnapshotFile is the on-disk schema: the benchmark records plus the metrics
@@ -178,6 +182,9 @@ func mergeMin(recs []Record) []Record {
 		if r.AllocsPerOp < out[i].AllocsPerOp {
 			out[i].AllocsPerOp = r.AllocsPerOp
 		}
+		if r.BytesResident < out[i].BytesResident {
+			out[i].BytesResident = r.BytesResident
+		}
 	}
 	return out
 }
@@ -230,6 +237,8 @@ func parseLine(line string) (Record, bool) {
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		case "bytes-resident":
+			r.BytesResident = int64(v)
 		}
 	}
 	return r, seenNs

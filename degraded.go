@@ -25,9 +25,10 @@ var fallbacksTotal = obs.Default().Counter("kwsc_fallbacks_total")
 // to give up at that wall-clock point, and the baseline would blow through
 // it too. Validation errors surface unchanged: the query itself is broken.
 type Degraded struct {
-	ds  *Dataset
-	ix  rectCollector
-	inv *invidx.Index
+	ds   *Dataset
+	ix   rectCollector
+	inv  *invidx.Index  // raw baseline, exposed via Baseline()
+	pinv *invidx.Packed // block-compressed form driving the fallback path
 
 	fallbacks atomic.Int64
 }
@@ -51,7 +52,8 @@ func NewDegraded(ds *Dataset, k int) (*Degraded, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Degraded{ds: ds, ix: ix, inv: invidx.Build(ds)}, nil
+	inv := invidx.Build(ds)
+	return &Degraded{ds: ds, ix: ix, inv: inv, pinv: inv.Pack()}, nil
 }
 
 // Collect answers the query, degrading to the baseline on budget exhaustion
@@ -71,8 +73,8 @@ func (d *Degraded) Collect(q *Rect, ws []Keyword, opts QueryOpts) ([]int32, Quer
 	if obs.MetricsEnabled() {
 		fallbacksTotal.Inc()
 	}
-	full := d.inv.KeywordsOnly(q, ws)
-	fst := QueryStats{Fallback: true, Ops: st.Ops + d.inv.ScanCost(ws), Reported: len(full)}
+	full := d.pinv.KeywordsOnly(q, ws)
+	fst := QueryStats{Fallback: true, Ops: st.Ops + d.pinv.ScanCost(ws), Reported: len(full)}
 	limit := opts.Limit
 	if opts.Policy.MaxResults > 0 && (limit == 0 || opts.Policy.MaxResults < limit) {
 		limit = opts.Policy.MaxResults

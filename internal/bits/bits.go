@@ -41,6 +41,46 @@ func (d *Dense) Count() int {
 // when accounting the T_u structures).
 func (d *Dense) SpaceBits() int64 { return int64(len(d.words)) * 64 }
 
+// Arena is a single word slice holding many concatenated bitsets, each
+// word-aligned and addressed by the word offset its owner recorded at append
+// time. The flat index layout concatenates every per-child non-emptiness
+// tensor of a tree into one arena: one allocation, contiguous in memory, no
+// per-tensor slice headers or pointer hops on the query path.
+type Arena struct {
+	words []uint64
+}
+
+// AppendDense copies d's words into the arena and returns the word offset at
+// which they start.
+func (a *Arena) AppendDense(d *Dense) int64 {
+	off := int64(len(a.words))
+	a.words = append(a.words, d.words...)
+	return off
+}
+
+// Grow appends n zero words and returns their starting offset.
+func (a *Arena) Grow(n int) int64 {
+	off := int64(len(a.words))
+	a.words = append(a.words, make([]uint64, n)...)
+	return off
+}
+
+// Get reports bit i of the bitset starting at word offset off.
+func (a *Arena) Get(off int64, i int64) bool {
+	return a.words[off+i>>6]&(1<<(uint64(i)&63)) != 0
+}
+
+// Set sets bit i of the bitset starting at word offset off (builder use).
+func (a *Arena) Set(off int64, i int64) {
+	a.words[off+i>>6] |= 1 << (uint64(i) & 63)
+}
+
+// Words returns the arena size in 64-bit words.
+func (a *Arena) Words() int64 { return int64(len(a.words)) }
+
+// SpaceBits returns the storage footprint in bits.
+func (a *Arena) SpaceBits() int64 { return int64(len(a.words)) * 64 }
+
 // U32Set is an open-addressing hash set of uint32 keys with linear probing.
 // Zero-valued keys are supported via a sentinel flag. The set is built once
 // and then only queried, which is exactly the usage pattern of the per-object

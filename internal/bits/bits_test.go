@@ -153,3 +153,42 @@ func TestDenseAgainstMapProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestArenaConcatenatesDenseSets(t *testing.T) {
+	var a Arena
+	sizes := []int{1, 63, 64, 65, 300}
+	offs := make([]int64, len(sizes))
+	for si, n := range sizes {
+		d := NewDense(n)
+		for i := 0; i < n; i += si + 1 {
+			d.Set(i)
+		}
+		offs[si] = a.AppendDense(d)
+	}
+	for si, n := range sizes {
+		for i := 0; i < n; i++ {
+			want := i%(si+1) == 0
+			if got := a.Get(offs[si], int64(i)); got != want {
+				t.Fatalf("set %d bit %d: got %v, want %v", si, i, got, want)
+			}
+		}
+	}
+	if a.Words() <= 0 || a.SpaceBits() != a.Words()*64 {
+		t.Fatalf("arena accounting inconsistent: %d words, %d bits", a.Words(), a.SpaceBits())
+	}
+}
+
+func TestArenaGrowAndSet(t *testing.T) {
+	var a Arena
+	off1 := a.Grow(2)
+	off2 := a.Grow(1)
+	a.Set(off1, 5)
+	a.Set(off1, 127)
+	a.Set(off2, 0)
+	if !a.Get(off1, 5) || !a.Get(off1, 127) || !a.Get(off2, 0) {
+		t.Fatal("set bits not readable")
+	}
+	if a.Get(off1, 6) || a.Get(off2, 1) {
+		t.Fatal("unset bits read as set")
+	}
+}

@@ -111,3 +111,37 @@ func TestCollectIntoZeroAllocsWithBudgetPolicy(t *testing.T) {
 		t.Fatalf("CollectInto with budget policy allocates %v per op, want 0", allocs)
 	}
 }
+
+// The flat layout must preserve the zero-allocation property: block decoding
+// goes through the pooled context's retained scratch buffer and the large/mat
+// lookups are manual binary searches (no sort.Search closures).
+func TestCollectIntoZeroAllocsFlatLayout(t *testing.T) {
+	ds := workload.Gen(workload.Config{Seed: 33, Objects: 1 << 12, Dim: 2, Vocab: 64, DocLen: 5})
+	ix, err := BuildORPKW(ds, 2, WithFlatLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Framework().IsFlat() {
+		t.Fatal("index not flat")
+	}
+	q := workload.RandRect(rand.New(rand.NewSource(33)), 2, 0.4)
+	ws := []dataset.Keyword{1, 2}
+	buf := make([]int32, 0, 4096)
+	for i := 0; i < 4; i++ {
+		ids, _, err := ix.CollectInto(q, ws, QueryOpts{}, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = ids[:0]
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		ids, _, err := ix.CollectInto(q, ws, QueryOpts{}, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = ids[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("flat CollectInto allocates %v per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"sort"
+
+	"kwsc/internal/bitpack"
+	"kwsc/internal/bits"
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+	"kwsc/internal/spart"
+)
+
+// flatLayout is the cache-conscious form of a built Framework: the pointer
+// tree of fnodes re-ordered into BFS (level) order and packed into contiguous
+// struct-of-arrays slices. BFS order makes every node's children a contiguous
+// id range — the multiway analog of the Eytzinger layout — so the child "list"
+// is two int32s (childFirst, childCount) and a descent touches consecutive
+// cache lines instead of chasing per-node slice headers. Node payloads move
+// into shared arenas addressed by monotone start offsets:
+//
+//   - pivots:       one id arena + per-node [start, start+1) offsets;
+//   - large keys:   sorted per node in one arena with the original tensor
+//     numbering alongside (lookup by binary search — the per-node maps, with
+//     their buckets and padding, are freed);
+//   - mat lists:    delta-encoded via bitpack into fixed-size packed blocks in
+//     one shared PackedLists arena, scanned block-at-a-time at query time;
+//   - tensors:      every per-child L^k-bit non-emptiness array concatenated
+//     word-aligned into one bits.Arena, addressed as tensorOff + child*stride.
+//
+// The layout is query-equivalent to the pointer form by construction: the
+// traversal order, the stats counted, and every emitted id are identical
+// (tested property-style in flat_test.go).
+type flatLayout struct {
+	// Node skeleton, BFS order. Children of node u are exactly the ids
+	// [childFirst[u], childFirst[u]+childCount[u]), in original child order.
+	cells      []spart.Cell
+	nu         []int64
+	l          []int32 // L = number of large keywords
+	childFirst []int32
+	childCount []int32
+
+	// Pivot sets: pivotIDs[pivotStart[u]:pivotStart[u+1]].
+	pivotStart []int32
+	pivotIDs   []int32
+
+	// Large keywords, sorted by keyword per node, parallel to largeIdx which
+	// carries the original large-map value (the tensor axis index).
+	largeStart []int32
+	largeKeys  []dataset.Keyword
+	largeIdx   []int32
+
+	// Materialized small-keyword lists: keys sorted per node; matLists[i] is
+	// the packed-block handle for matKeys[i] inside matArena.
+	matStart []int32
+	matKeys  []dataset.Keyword
+	matLists []bitpack.List
+	matArena bitpack.PackedLists
+
+	// Non-emptiness tensors: node u's child ci occupies tensorStride[u] words
+	// starting at tensorOff[u] + ci*tensorStride[u] in tensorArena.
+	tensorOff    []int64
+	tensorStride []int64
+	tensorArena  bits.Arena
+
+	// Packed partitioning coordinates: object id's point is
+	// coords[id*pdim : (id+1)*pdim]. This re-lays out the f.pts input (freed
+	// at Flatten) — the builder materializes those points one allocation each
+	// (rank-space points especially), so the pointer layout pays a header
+	// load plus a scattered heap read per candidate check; the arena makes
+	// the same check two sequential reads. The audit treats coordinates as
+	// input, not index structure, in both layouts.
+	coords []float64
+	pdim   int
+}
+
+// Flatten converts the index into the flat layout, releasing the pointer tree
+// to the collector. It is idempotent and must not run concurrently with
+// queries (flatten at startup, before serving). Queries, stats, and policy
+// semantics are unchanged — only the memory layout is.
+func (f *Framework) Flatten() {
+	if f.flat != nil || len(f.nodes) == 0 {
+		return
+	}
+	nn := len(f.nodes)
+	// Pass 1: BFS over the pointer tree. order[newID] = oldID; a node's
+	// children are assigned consecutive new ids the moment it is dequeued.
+	order := make([]int32, 1, nn)
+	fl := &flatLayout{
+		cells:        make([]spart.Cell, nn),
+		nu:           make([]int64, nn),
+		l:            make([]int32, nn),
+		childFirst:   make([]int32, nn),
+		childCount:   make([]int32, nn),
+		pivotStart:   make([]int32, nn+1),
+		largeStart:   make([]int32, nn+1),
+		matStart:     make([]int32, nn+1),
+		tensorOff:    make([]int64, nn),
+		tensorStride: make([]int64, nn),
+	}
+	for head := 0; head < len(order); head++ {
+		n := &f.nodes[order[head]]
+		fl.childFirst[head] = int32(len(order))
+		fl.childCount[head] = int32(len(n.children))
+		order = append(order, n.children...)
+	}
+
+	// Pass 2: pack payloads in the new order.
+	var keyScratch []dataset.Keyword
+	for newID, oldID := range order {
+		n := &f.nodes[oldID]
+		fl.cells[newID] = n.cell
+		fl.nu[newID] = n.nu
+		fl.l[newID] = n.l
+
+		fl.pivotIDs = append(fl.pivotIDs, n.pivots...)
+		fl.pivotStart[newID+1] = int32(len(fl.pivotIDs))
+
+		keyScratch = keyScratch[:0]
+		for w := range n.large {
+			keyScratch = append(keyScratch, w)
+		}
+		sortKeywords(keyScratch)
+		for _, w := range keyScratch {
+			fl.largeKeys = append(fl.largeKeys, w)
+			fl.largeIdx = append(fl.largeIdx, n.large[w])
+		}
+		fl.largeStart[newID+1] = int32(len(fl.largeKeys))
+
+		keyScratch = keyScratch[:0]
+		for w := range n.mat {
+			keyScratch = append(keyScratch, w)
+		}
+		sortKeywords(keyScratch)
+		for _, w := range keyScratch {
+			fl.matKeys = append(fl.matKeys, w)
+			fl.matLists = append(fl.matLists, fl.matArena.Append(n.mat[w]))
+		}
+		fl.matStart[newID+1] = int32(len(fl.matKeys))
+
+		if len(n.tensors) > 0 {
+			fl.tensorOff[newID] = fl.tensorArena.Words()
+			fl.tensorStride[newID] = (tensorSize(int(n.l), f.k) + 63) / 64
+			for _, t := range n.tensors {
+				fl.tensorArena.AppendDense(t)
+			}
+		}
+	}
+	if len(f.pts) > 0 {
+		fl.pdim = len(f.pts[0])
+		fl.coords = make([]float64, len(f.pts)*fl.pdim)
+		for i, p := range f.pts {
+			copy(fl.coords[i*fl.pdim:(i+1)*fl.pdim], p)
+		}
+	}
+	f.flat = fl
+	f.nodes = nil
+	f.pts = nil // all query-time reads go through fl.coords
+	f.accountSpaceFlat()
+}
+
+// IsFlat reports whether the index has been converted to the flat layout.
+func (f *Framework) IsFlat() bool { return f.flat != nil }
+
+func sortKeywords(ws []dataset.Keyword) {
+	sort.Slice(ws, func(a, b int) bool { return ws[a] < ws[b] })
+}
+
+// largeLookup is the flat replacement for the per-node large map: binary
+// search over the node's sorted key range, returning the original tensor
+// axis index. Manual search keeps the query path closure-free.
+func (fl *flatLayout) largeLookup(u int32, w dataset.Keyword) (int32, bool) {
+	lo, hi := fl.largeStart[u], fl.largeStart[u+1]
+	end := hi
+	for lo < hi {
+		mid := int32(uint32(lo+hi) >> 1)
+		if fl.largeKeys[mid] < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < end && fl.largeKeys[lo] == w {
+		return fl.largeIdx[lo], true
+	}
+	return 0, false
+}
+
+// matLookup returns the index into matLists of node u's materialized list for
+// w, or -1 when u has none (an fnode's mat map would have had no entry).
+func (fl *flatLayout) matLookup(u int32, w dataset.Keyword) int32 {
+	lo, hi := fl.matStart[u], fl.matStart[u+1]
+	end := hi
+	for lo < hi {
+		mid := int32(uint32(lo+hi) >> 1)
+		if fl.matKeys[mid] < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < end && fl.matKeys[lo] == w {
+		return lo
+	}
+	return -1
+}
+
+// tensorGet reads the non-emptiness bit lin of node u's child ci.
+func (fl *flatLayout) tensorGet(u, ci int32, lin int64) bool {
+	return fl.tensorArena.Get(fl.tensorOff[u]+int64(ci)*fl.tensorStride[u], lin)
+}
+
+// checkAndEmitFlat is checkAndEmit reading through the packed coords arena.
+// For rectangle queries (qLo/qHi cached by run) the containment test inlines
+// the exact comparisons of Rect.ContainsPoint, replacing a per-candidate
+// interface call plus pointer chase; other regions fall back to the
+// interface over a coords subslice. Results are identical either way.
+func (qc *qctx) checkAndEmitFlat(id int32, covered bool) {
+	if !covered {
+		fl := qc.f.flat
+		base := int(id) * fl.pdim
+		if qc.qLo != nil {
+			for j, lo := range qc.qLo {
+				if c := fl.coords[base+j]; c < lo || c > qc.qHi[j] {
+					return
+				}
+			}
+		} else if !qc.q.ContainsPoint(fl.coords[base : base+fl.pdim]) {
+			return
+		}
+	}
+	if qc.f.ds.HasAll(id, qc.ws) {
+		qc.emit(id)
+	}
+}
+
+// visitFlat is visit for the flat layout: the same traversal, stats, and stop
+// points, reading through the struct-of-arrays view. The two must stay in
+// lockstep — flat_test.go asserts byte-identical results and stats.
+func (qc *qctx) visitFlat(u int32, rel geom.Relation) {
+	if qc.stop() {
+		return
+	}
+	f := qc.f
+	fl := f.flat
+	failpoint(FPFrameworkVisit)
+	qc.st.NodesVisited++
+	qc.st.Ops++
+	covered := rel == geom.Covered
+	if covered {
+		qc.st.CoveredNodes++
+	} else {
+		qc.st.CrossingNodes++
+	}
+
+	if fl.childCount[u] == 0 {
+		for _, id := range fl.pivotIDs[fl.pivotStart[u]:fl.pivotStart[u+1]] {
+			qc.st.PivotChecks++
+			qc.st.Ops++
+			qc.checkAndEmitFlat(id, covered)
+			if qc.stop() {
+				return
+			}
+		}
+		return
+	}
+
+	// Small-keyword selection mirrors visit: the first strictly smallest
+	// materialized list in ws order wins; an absent list counts as length 0.
+	smallSel := int32(-1)
+	smallLen := -1
+	allLarge := true
+	for _, w := range qc.ws {
+		if _, ok := fl.largeLookup(u, w); !ok {
+			allLarge = false
+			mi := fl.matLookup(u, w)
+			l := 0
+			if mi >= 0 {
+				l = int(fl.matLists[mi].N)
+			}
+			if smallLen < 0 || l < smallLen {
+				smallSel, smallLen = mi, l
+			}
+		}
+	}
+	if !allLarge {
+		if smallSel < 0 {
+			return // the chosen list is empty: nothing to scan
+		}
+		if cap(qc.blk) < bitpack.BlockSize {
+			qc.blk = make([]int32, 0, bitpack.BlockSize)
+		}
+		for _, b := range fl.matArena.Blocks(fl.matLists[smallSel]) {
+			for _, id := range fl.matArena.DecodeBlock(b, qc.blk[:0]) {
+				qc.st.MatScanned++
+				qc.st.Ops++
+				qc.checkAndEmitFlat(id, covered)
+				if qc.stop() {
+					return
+				}
+			}
+		}
+		return
+	}
+
+	for _, id := range fl.pivotIDs[fl.pivotStart[u]:fl.pivotStart[u+1]] {
+		qc.st.PivotChecks++
+		qc.st.Ops++
+		qc.checkAndEmitFlat(id, covered)
+		if qc.stop() {
+			return
+		}
+	}
+	if cap(qc.sorted) < f.k {
+		qc.sorted = make([]int32, f.k)
+	}
+	s := qc.sorted[:0]
+	for _, w := range qc.ws {
+		li, _ := fl.largeLookup(u, w)
+		s = append(s, li)
+	}
+	qc.sorted = s
+	sortInt32s(s)
+	lin := tensorIndex(s, int(fl.l[u]))
+	first, count := fl.childFirst[u], fl.childCount[u]
+	for ci := int32(0); ci < count; ci++ {
+		if !fl.tensorGet(u, ci, lin) {
+			continue
+		}
+		child := first + ci
+		crel := geom.Covered
+		if !covered {
+			crel = f.split.Relate(fl.cells[child], qc.q)
+			if crel == geom.Disjoint {
+				continue
+			}
+		}
+		qc.visitFlat(child, crel)
+		if qc.done {
+			return
+		}
+	}
+}
+
+// crossingCostFlat is CrossingCost's traversal over the flat layout.
+func (f *Framework) crossingCostFlat(q geom.Region, ws []dataset.Keyword) float64 {
+	fl := f.flat
+	var cost float64
+	exp := 1 - 1/float64(f.k)
+	var rec func(u int32)
+	rec = func(u int32) {
+		stopsHere := fl.childCount[u] == 0
+		if !stopsHere {
+			for _, w := range ws {
+				if _, ok := fl.largeLookup(u, w); !ok {
+					stopsHere = true
+					break
+				}
+			}
+		}
+		if stopsHere {
+			cost += pow(float64(fl.nu[u]), exp)
+			return
+		}
+		cost++
+		s := make([]int32, 0, f.k)
+		for _, w := range ws {
+			li, _ := fl.largeLookup(u, w)
+			s = append(s, li)
+		}
+		sortInt32s(s)
+		lin := tensorIndex(s, int(fl.l[u]))
+		first, count := fl.childFirst[u], fl.childCount[u]
+		for ci := int32(0); ci < count; ci++ {
+			if !fl.tensorGet(u, ci, lin) {
+				continue
+			}
+			if f.split.Relate(fl.cells[first+ci], q) == geom.Crossing {
+				rec(first + ci)
+			}
+		}
+	}
+	if len(fl.cells) > 0 && f.split.Relate(fl.cells[0], q) == geom.Crossing {
+		rec(0)
+	}
+	return cost
+}
+
+// accountSpaceFlat recomputes the space audit from the flat arenas, keeping
+// the problem-specific terms (AuxWords, DocHashWords) that accrued outside
+// the tree. Two int32s pack per word; the List handles count as two words.
+func (f *Framework) accountSpaceFlat() {
+	fl := f.flat
+	s := SpaceBreakdown{AuxWords: f.space.AuxWords, DocHashWords: f.space.DocHashWords}
+	nn := int64(len(fl.cells))
+	// Skeleton SoA: cell (2 words: interface), nu, tensorOff, tensorStride,
+	// plus l/childFirst/childCount/starts at half a word each.
+	s.NodeWords = 5*nn + (3*nn)/2 + 2*nn
+	s.PivotWords = (int64(len(fl.pivotIDs)) + 1) / 2
+	s.LargeWords = int64(len(fl.largeKeys)) // key + idx = two int32s
+	s.MatWords = fl.matArena.SpaceWords() + 2*int64(len(fl.matLists)) + int64(len(fl.matKeys))/2
+	s.TensorBits = fl.tensorArena.SpaceBits()
+	f.space = s
+}
+
+// numNodesFlat, maxPivotsFlat, heightFlat back the Framework accessors after
+// flattening.
+func (fl *flatLayout) numNodes() int { return len(fl.cells) }
+
+func (fl *flatLayout) maxPivots() int {
+	m := 0
+	for u := range fl.cells {
+		if fl.childCount[u] > 0 {
+			if p := int(fl.pivotStart[u+1] - fl.pivotStart[u]); p > m {
+				m = p
+			}
+		}
+	}
+	return m
+}
+
+func (fl *flatLayout) height() int {
+	if len(fl.cells) == 0 {
+		return -1
+	}
+	var rec func(u int32) int
+	rec = func(u int32) int {
+		h := 0
+		first, count := fl.childFirst[u], fl.childCount[u]
+		for ci := int32(0); ci < count; ci++ {
+			if ch := rec(first+ci) + 1; ch > h {
+				h = ch
+			}
+		}
+		return h
+	}
+	return rec(0)
+}

@@ -37,6 +37,7 @@ type Framework struct {
 	pts      []geom.Point // partitioning coordinates (rank space or original)
 	weight   []int32      // |e.Doc| per object: the verbose-set multiplicity
 	nodes    []fnode
+	flat     *flatLayout // non-nil after Flatten; nodes is then nil
 	leafSize int
 	space    SpaceBreakdown
 }
@@ -100,6 +101,10 @@ type FrameworkConfig struct {
 	// Parallelism caps the goroutines used to build the tree (see
 	// BuildOpts): <= 0 selects GOMAXPROCS, 1 forces a sequential build.
 	Parallelism int
+	// Flat converts the finished tree to the cache-conscious flat layout
+	// (see Flatten): BFS node order, arena-packed payloads, delta-encoded
+	// materialized lists. Queries answer identically in either layout.
+	Flat bool
 
 	// gate shares one goroutine budget across nested builds (the
 	// dimension-reduction tree builds one framework per node); when set it
@@ -165,6 +170,9 @@ func BuildFramework(ds *dataset.Dataset, cfg FrameworkConfig) (*Framework, error
 	b.build(root, objs, incoming, 0)
 	f.nodes = b.nodes
 	f.accountSpace()
+	if cfg.Flat {
+		f.Flatten()
+	}
 	return f, nil
 }
 
@@ -417,12 +425,20 @@ func (f *Framework) K() int { return f.k }
 func (f *Framework) Dataset() *dataset.Dataset { return f.ds }
 
 // NumNodes returns the number of tree nodes.
-func (f *Framework) NumNodes() int { return len(f.nodes) }
+func (f *Framework) NumNodes() int {
+	if f.flat != nil {
+		return f.flat.numNodes()
+	}
+	return len(f.nodes)
+}
 
 // PointDim returns the dimensionality of the partitioning coordinates (the
 // lifted dimension for SRP-KW, the rank-space dimension for ORP-KW); query
 // validation checks constraints against it.
 func (f *Framework) PointDim() int {
+	if f.flat != nil {
+		return f.flat.pdim
+	}
 	if len(f.pts) == 0 {
 		return 0
 	}
@@ -453,6 +469,9 @@ func (f *Framework) accountSpace() {
 // MaxPivots returns the largest pivot set of any internal node — the
 // quantity the general-position machinery (Steps 2 and 4) keeps O(1).
 func (f *Framework) MaxPivots() int {
+	if f.flat != nil {
+		return f.flat.maxPivots()
+	}
 	m := 0
 	for i := range f.nodes {
 		n := &f.nodes[i]
@@ -465,6 +484,9 @@ func (f *Framework) MaxPivots() int {
 
 // Height returns the tree height.
 func (f *Framework) Height() int {
+	if f.flat != nil {
+		return f.flat.height()
+	}
 	if len(f.nodes) == 0 {
 		return -1
 	}

@@ -155,6 +155,18 @@ func (f *Framework) checkQuery(ws []dataset.Keyword) error {
 }
 
 func (f *Framework) run(qc *qctx) {
+	if f.flat != nil {
+		if r, ok := qc.q.(*geom.Rect); ok {
+			qc.qLo, qc.qHi = r.Lo, r.Hi
+		}
+		if len(f.flat.cells) > 0 {
+			rel := f.split.Relate(f.flat.cells[0], qc.q)
+			if rel != geom.Disjoint {
+				qc.visitFlat(0, rel)
+			}
+		}
+		return
+	}
 	if len(f.nodes) > 0 {
 		rel := f.split.Relate(f.nodes[0].cell, qc.q)
 		if rel != geom.Disjoint {
@@ -182,6 +194,12 @@ type qctx struct {
 	stopErr    error    // typed policy error that ended the traversal
 	sorted     []int32  // scratch for tensor index
 	res        []int32  // scratch accumulator for buf-less CollectInto
+	blk        []int32  // scratch for flat-layout packed-block decoding
+
+	// Rect fast path for the flat layout: when q is a *geom.Rect, run caches
+	// its bounds so checkAndEmitFlat tests containment with inlined
+	// comparisons over the coords arena instead of an interface call.
+	qLo, qHi []float64
 }
 
 var qctxPool = sync.Pool{New: func() any { return new(qctx) }}
@@ -189,8 +207,8 @@ var qctxPool = sync.Pool{New: func() any { return new(qctx) }}
 func getQctx() *qctx { return qctxPool.Get().(*qctx) }
 
 func putQctx(qc *qctx) {
-	sorted, res := qc.sorted[:0], qc.res[:0]
-	*qc = qctx{sorted: sorted, res: res}
+	sorted, res, blk := qc.sorted[:0], qc.res[:0], qc.blk[:0]
+	*qc = qctx{sorted: sorted, res: res, blk: blk}
 	qctxPool.Put(qc)
 }
 
@@ -337,6 +355,9 @@ func (qc *qctx) visit(u int32, rel geom.Relation) {
 func (f *Framework) CrossingCost(q geom.Region, ws []dataset.Keyword) (float64, error) {
 	if err := dataset.ValidateKeywords(ws); err != nil {
 		return 0, err
+	}
+	if f.flat != nil {
+		return f.crossingCostFlat(q, ws), nil
 	}
 	var cost float64
 	exp := 1 - 1/float64(f.k)

@@ -70,6 +70,7 @@ func BuildSPKW(ds *dataset.Dataset, cfg SPKWConfig) (*SPKW, error) {
 		Splitter:    split,
 		Points:      cfg.Points,
 		Parallelism: cfg.Build.Parallelism,
+		Flat:        cfg.Build.Flat,
 	})
 	if err != nil {
 		return nil, err
@@ -141,6 +142,10 @@ func (ix *SPKW) CollectConstraintsInto(hs []geom.Halfspace, ws []dataset.Keyword
 	}
 	return ix.fw.CollectInto(geom.NewPolyhedron(hs...), ws, opts, buf)
 }
+
+// Flatten converts the index to the cache-conscious flat layout in place
+// (see Framework.Flatten). It must not run concurrently with queries.
+func (ix *SPKW) Flatten() { ix.fw.Flatten() }
 
 // Framework exposes the underlying transformed index.
 func (ix *SPKW) Framework() *Framework { return ix.fw }

@@ -41,21 +41,49 @@ func (ix *Index) Posting(w dataset.Keyword) []int32 { return ix.postings[w] }
 // DocFrequency returns |S_w|.
 func (ix *Index) DocFrequency(w dataset.Keyword) int { return len(ix.postings[w]) }
 
+// orderedLists returns the posting lists of ws sorted smallest-first, with
+// ties broken by keyword id — a total order independent of both the map's
+// iteration order and the caller's keyword order, so a query's work (and its
+// instrumented cost) is reproducible across runs and ws permutations. ok is
+// false when some keyword has an empty posting list (the intersection is
+// trivially empty).
+func (ix *Index) orderedLists(ws []dataset.Keyword) (lists [][]int32, ok bool) {
+	type entry struct {
+		list []int32
+		w    dataset.Keyword
+	}
+	entries := make([]entry, len(ws))
+	for i, w := range ws {
+		entries[i] = entry{ix.postings[w], w}
+		if len(entries[i].list) == 0 {
+			return nil, false
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if la, lb := len(entries[a].list), len(entries[b].list); la != lb {
+			return la < lb
+		}
+		return entries[a].w < entries[b].w
+	})
+	lists = make([][]int32, len(entries))
+	for i, e := range entries {
+		lists[i] = e.list
+	}
+	return lists, true
+}
+
 // Intersect answers a k-SI reporting query: the ids of objects containing
 // every keyword. It intersects the shortest list against the others by
-// galloping (doubling) search, costing O(min|S| * k * log(max|S|)).
+// galloping (doubling) search, costing O(min|S| * k * log(max|S|)); list
+// order is the deterministic smallest-first order of orderedLists.
 func (ix *Index) Intersect(ws []dataset.Keyword) []int32 {
 	if len(ws) == 0 {
 		return nil
 	}
-	lists := make([][]int32, len(ws))
-	for i, w := range ws {
-		lists[i] = ix.postings[w]
-		if len(lists[i]) == 0 {
-			return nil
-		}
+	lists, ok := ix.orderedLists(ws)
+	if !ok {
+		return nil
 	}
-	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
 	var out []int32
 candidates:
 	for _, id := range lists[0] {
@@ -74,14 +102,10 @@ func (ix *Index) Empty(ws []dataset.Keyword) bool {
 	if len(ws) == 0 {
 		return true
 	}
-	lists := make([][]int32, len(ws))
-	for i, w := range ws {
-		lists[i] = ix.postings[w]
-		if len(lists[i]) == 0 {
-			return true
-		}
+	lists, ok := ix.orderedLists(ws)
+	if !ok {
+		return true
 	}
-	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
 candidates:
 	for _, id := range lists[0] {
 		for _, l := range lists[1:] {

@@ -1,0 +1,284 @@
+package invidx
+
+import (
+	"sort"
+
+	"kwsc/internal/bitpack"
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+)
+
+// Packed is the cache-conscious form of the inverted index: every posting
+// list delta-encoded into fixed-size bit-packed blocks (bitpack.BlockSize
+// ids each) inside one shared arena, with per-block skip maxima. Conjunctive
+// queries run block-at-a-time — the driver (smallest) list is decoded
+// sequentially while the others advance by galloping over block maxima, and
+// a block's payload is decoded only when its [First, Max] window admits the
+// candidate. Space drops from one 4-byte id per entry to the list's delta
+// entropy (a few bits per id for dense lists); the skip metadata restores
+// the galloping asymptotics of the pointer layout.
+type Packed struct {
+	ds    *dataset.Dataset
+	arena bitpack.PackedLists
+	lists map[dataset.Keyword]bitpack.List
+}
+
+// Pack converts the index into its packed form. The receiver's posting map
+// is not retained; callers that keep only the Packed value release the raw
+// id slices to the collector.
+func (ix *Index) Pack() *Packed {
+	// Deterministic arena layout: keywords in ascending order.
+	ws := make([]dataset.Keyword, 0, len(ix.postings))
+	for w := range ix.postings {
+		ws = append(ws, w)
+	}
+	sort.Slice(ws, func(a, b int) bool { return ws[a] < ws[b] })
+	p := &Packed{ds: ix.ds, lists: make(map[dataset.Keyword]bitpack.List, len(ws))}
+	for _, w := range ws {
+		p.lists[w] = p.arena.Append(ix.postings[w])
+	}
+	return p
+}
+
+// BuildPacked constructs the packed inverted index directly from a dataset.
+func BuildPacked(ds *dataset.Dataset) *Packed {
+	return Build(ds).Pack()
+}
+
+// DocFrequency returns |S_w|.
+func (p *Packed) DocFrequency(w dataset.Keyword) int { return int(p.lists[w].N) }
+
+// ScanCost returns sum_i |S_wi| (see Index.ScanCost).
+func (p *Packed) ScanCost(ws []dataset.Keyword) int64 {
+	var s int64
+	for _, w := range ws {
+		s += int64(p.lists[w].N)
+	}
+	return s
+}
+
+// SpaceWords audits the packed footprint: the shared arena plus one handle
+// and map slot per keyword.
+func (p *Packed) SpaceWords() int64 {
+	return p.arena.SpaceWords() + 3*int64(len(p.lists))
+}
+
+// Posting decodes the full posting list of w into a fresh slice (nil when w
+// never occurs). It exists for verification; the query paths never
+// materialize whole lists.
+func (p *Packed) Posting(w dataset.Keyword) []int32 {
+	l, ok := p.lists[w]
+	if !ok {
+		return nil
+	}
+	return p.arena.UnpackInto(l, make([]int32, 0, l.N))
+}
+
+// pcursor walks one packed list monotonically during an intersection.
+type pcursor struct {
+	blocks []bitpack.Block
+	bi     int     // current block
+	buf    []int32 // decoded current block; nil when not yet decoded
+	pos    int     // resume position inside buf (candidates arrive ascending)
+	dec    [bitpack.BlockSize]int32
+}
+
+// seek positions the cursor at the first block whose Max >= id, galloping
+// forward over the skip maxima. It reports false when the list is exhausted.
+func (c *pcursor) seek(id int32) bool {
+	if c.bi >= len(c.blocks) {
+		return false
+	}
+	if c.blocks[c.bi].Max >= id {
+		return true
+	}
+	// Gallop: maxima are non-decreasing for sorted lists.
+	step := 1
+	lo := c.bi + 1
+	for c.bi+step < len(c.blocks) && c.blocks[c.bi+step].Max < id {
+		lo = c.bi + step + 1
+		step <<= 1
+	}
+	hi := c.bi + step
+	if hi > len(c.blocks) {
+		hi = len(c.blocks)
+	}
+	// Binary search in [lo, hi) for the first block with Max >= id.
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.blocks[mid].Max < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(c.blocks) {
+		c.bi = len(c.blocks)
+		return false
+	}
+	c.bi, c.buf, c.pos = lo, nil, 0
+	return true
+}
+
+// contains reports whether the list holds id, decoding the current block
+// only when its [First, Max] window admits id. Successive calls must pass
+// non-decreasing ids.
+func (c *pcursor) contains(a *bitpack.PackedLists, id int32) bool {
+	if !c.seek(id) {
+		return false
+	}
+	b := c.blocks[c.bi]
+	if id < b.First {
+		return false // id falls in the gap before this block: no decode
+	}
+	if id == b.First {
+		return true // answered from skip metadata alone
+	}
+	if c.buf == nil {
+		c.buf = a.DecodeBlock(b, c.dec[:0])
+	}
+	// Gallop within the decoded block from the resume position.
+	n := len(c.buf)
+	lo, step := c.pos, 1
+	for lo+step < n && c.buf[lo+step] < id {
+		lo += step
+		step <<= 1
+	}
+	hi := lo + step
+	if hi > n {
+		hi = n
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.buf[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	c.pos = lo
+	return lo < n && c.buf[lo] == id
+}
+
+// ordered returns the lists of ws smallest-first (ties by keyword id, the
+// same total order Index.orderedLists uses); ok is false when a keyword is
+// absent or empty.
+func (p *Packed) ordered(ws []dataset.Keyword) (lists []bitpack.List, ok bool) {
+	type entry struct {
+		l bitpack.List
+		w dataset.Keyword
+	}
+	entries := make([]entry, len(ws))
+	for i, w := range ws {
+		l, present := p.lists[w]
+		if !present || l.N == 0 {
+			return nil, false
+		}
+		entries[i] = entry{l, w}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].l.N != entries[b].l.N {
+			return entries[a].l.N < entries[b].l.N
+		}
+		return entries[a].w < entries[b].w
+	})
+	lists = make([]bitpack.List, len(entries))
+	for i, e := range entries {
+		lists[i] = e.l
+	}
+	return lists, true
+}
+
+// IntersectInto answers a k-SI reporting query, appending the ids of objects
+// containing every keyword to dst (ascending). The smallest list drives,
+// decoded block by block; every other list advances through pcursors.
+func (p *Packed) IntersectInto(dst []int32, ws []dataset.Keyword) []int32 {
+	lists, ok := p.ordered(ws)
+	if !ok || len(lists) == 0 {
+		return dst
+	}
+	if len(lists) == 1 {
+		return p.arena.UnpackInto(lists[0], dst)
+	}
+	cursors := make([]pcursor, len(lists)-1)
+	for i := range cursors {
+		cursors[i].blocks = p.arena.Blocks(lists[i+1])
+	}
+	var driver [bitpack.BlockSize]int32
+	for _, b := range p.arena.Blocks(lists[0]) {
+		// The rarest block still has to clear every other list's maxima:
+		// when the block's whole window precedes cursor i's current
+		// position there can be no match inside it — but cursors only move
+		// forward, so the window check is per candidate below.
+		buf := p.arena.DecodeBlock(b, driver[:0])
+	candidates:
+		for _, id := range buf {
+			for i := range cursors {
+				if !cursors[i].contains(&p.arena, id) {
+					if cursors[i].bi >= len(cursors[i].blocks) {
+						return dst // some list exhausted: nothing more can match
+					}
+					continue candidates
+				}
+			}
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// Intersect is IntersectInto with a fresh result slice.
+func (p *Packed) Intersect(ws []dataset.Keyword) []int32 {
+	if len(ws) == 0 {
+		return nil
+	}
+	return p.IntersectInto(nil, ws)
+}
+
+// Empty answers a k-SI emptiness query without materializing results.
+func (p *Packed) Empty(ws []dataset.Keyword) bool {
+	if len(ws) == 0 {
+		return true
+	}
+	lists, ok := p.ordered(ws)
+	if !ok {
+		return true
+	}
+	if len(lists) == 1 {
+		return lists[0].N == 0
+	}
+	cursors := make([]pcursor, len(lists)-1)
+	for i := range cursors {
+		cursors[i].blocks = p.arena.Blocks(lists[i+1])
+	}
+	var driver [bitpack.BlockSize]int32
+	for _, b := range p.arena.Blocks(lists[0]) {
+		buf := p.arena.DecodeBlock(b, driver[:0])
+	candidates:
+		for _, id := range buf {
+			for i := range cursors {
+				if !cursors[i].contains(&p.arena, id) {
+					if cursors[i].bi >= len(cursors[i].blocks) {
+						return true
+					}
+					continue candidates
+				}
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// KeywordsOnly is the packed form of the "keywords only" baseline: intersect
+// the posting lists block-at-a-time, then discard objects outside q.
+func (p *Packed) KeywordsOnly(q geom.Region, ws []dataset.Keyword) []int32 {
+	ids := p.Intersect(ws)
+	out := ids[:0]
+	for _, id := range ids {
+		if q.ContainsPoint(p.ds.Point(id)) {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -169,6 +169,20 @@ func WithTracer(t Tracer) Option { return core.WithTracer(t) }
 // monitoring).
 func WithoutObs() Option { return core.WithoutObs() }
 
+// WithFlatLayout converts the index to the cache-conscious flat layout at the
+// end of construction: tree nodes re-ordered into BFS order with implicit
+// contiguous child addressing, node payloads packed into shared arenas,
+// materialized keyword lists delta-encoded into fixed-size bit-packed blocks,
+// and per-child non-emptiness tensors concatenated into one bit arena.
+// Queries answer identically to the pointer layout (same results, stats, and
+// policy semantics); resident memory shrinks and conjunctive queries speed up
+// on large inputs. Built indexes can also be converted in place later via
+// their Flatten method (ORPKW, ORPKWHigh, LCKW), e.g. after a warm-up phase —
+// but never concurrently with queries. Dynamic indexes (NewDynamicORPKW)
+// rebuild their static parts on merge and do not retain the flag; flatten the
+// static snapshot instead.
+func WithFlatLayout() Option { return core.WithFlatLayout() }
+
 // NewORPKW builds the Theorem 1 index: O(N) space and
 // O(N^{1-1/k} (1 + OUT^{1/k})) query time for d <= 2 (any d is accepted;
 // for d >= 3 prefer NewORPKWHigh, whose query bound is dimension-free).
