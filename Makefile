@@ -9,12 +9,13 @@ all: build test
 
 # The full pre-merge gate: vet + formatting, the complete test suite, the
 # race detector over the concurrent paths (parallel builds, QueryBatch
-# workers, shared-index readers, the metrics registry) including the
+# workers, shared-index readers, dynamic-index writers vs lock-free readers,
+# the linearizability harness, the metrics registry) including the
 # failpoint/resilience tests, the crash-injection suite, and a short fuzz
 # smoke over the binary decoders.
 check: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/ ./internal/spart/ ./internal/obs/
+	$(MAKE) race
 	$(MAKE) crash
 	$(MAKE) fuzz-smoke
 
@@ -53,11 +54,12 @@ vet:
 	fi
 
 # Race coverage over the concurrent paths: parallel builds, QueryBatch and
-# shared-index Collect calls, and the metrics registry/tracer/slow-log all
-# run under the detector.
+# shared-index Collect calls, dynamic-index churn against lock-free readers
+# and pinned snapshots, the WAL linearizability harness, and the metrics
+# registry/tracer/slow-log all run under the detector.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/ ./internal/spart/ ./internal/obs/
+	$(GO) test -race ./internal/core/ ./internal/spart/ ./internal/obs/ ./internal/wal/ .
 
 cover:
 	$(GO) test -cover ./...
@@ -80,7 +82,7 @@ bench-1m:
 # and bytes-resident pairs land in every snapshot; the 1M tier matches too
 # but self-skips unless KWSC_BENCH_1M is set (see bench-1m).
 BENCH_TIME ?= 200x
-BENCH_REGEX = ^(BenchmarkE1ORPKW2D|BenchmarkE2ORPKW3D|BenchmarkORPKW2DCollect|BenchmarkORPKW2DCollectInto|BenchmarkORPKW2DCollectIntoMetricsOn|BenchmarkORPKW2DCollectIntoMetricsOff|BenchmarkBuildORPKW|BenchmarkBuildLCKW|BenchmarkWALAppend|BenchmarkRecoveryReplay)
+BENCH_REGEX = ^(BenchmarkE1ORPKW2D|BenchmarkE2ORPKW3D|BenchmarkORPKW2DCollect|BenchmarkORPKW2DCollectInto|BenchmarkORPKW2DCollectIntoMetricsOn|BenchmarkORPKW2DCollectIntoMetricsOff|BenchmarkBuildORPKW|BenchmarkBuildLCKW|BenchmarkWALAppend|BenchmarkRecoveryReplay|BenchmarkConcurrentReadDuringChurn)
 
 # Snapshot the tier-1 bench families as BENCH_<date>.json so later changes
 # have a perf trajectory to compare against. The snapshot embeds the metrics

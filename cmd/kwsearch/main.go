@@ -17,12 +17,15 @@
 //	stats                        dataset and index statistics
 //
 // With -durable dir, a crash-safe dynamic index rooted at dir is opened
-// (recovering any prior state) and four more commands appear:
+// (recovering any prior state) and five more commands appear:
 //
 //	insert x y w1 w2             log + apply an insert; prints the handle
 //	del handle                   log + apply a delete
-//	drange x1 x2 y1 y2 w1 w2     query the durable index
+//	drange x1 x2 y1 y2 w1 w2     query the durable index (live head)
 //	checkpoint                   snapshot now and truncate the log
+//	snapshot                     pin the current state for repeatable reads
+//	snapshot x1 x2 y1 y2 w1 w2   query the pinned view; later inserts and
+//	                             deletes do not change its answers
 //
 // Malformed commands — wrong argument counts, unparsable numbers, inverted
 // or NaN bounds — print an error and re-prompt; the session never exits on
@@ -46,19 +49,20 @@ import (
 var (
 	flagN       = flag.Int("n", 20000, "number of objects in the generated catalog")
 	flagSeed    = flag.Int64("seed", 1, "generator seed")
-	flagDurable = flag.String("durable", "", "directory of a durable dynamic index (created or recovered); enables insert/del/drange/checkpoint")
+	flagDurable = flag.String("durable", "", "directory of a durable dynamic index (created or recovered); enables insert/del/drange/checkpoint/snapshot")
 )
 
 // session holds the indexes plus the interactive execution policy.
 type session struct {
-	ds  *kwsc.Dataset
-	orp *kwsc.ORPKW
-	nn  *kwsc.LinfNN
-	srp *kwsc.SRPKW
-	lc  *kwsc.LCKW
-	ksi *kwsc.KSI
-	dur *kwsc.DurableORPKW
-	pol kwsc.ExecPolicy
+	ds   *kwsc.Dataset
+	orp  *kwsc.ORPKW
+	nn   *kwsc.LinfNN
+	srp  *kwsc.SRPKW
+	lc   *kwsc.LCKW
+	ksi  *kwsc.KSI
+	dur  *kwsc.DurableORPKW
+	snap *kwsc.DynSnapshot // view pinned by the snapshot command
+	pol  kwsc.ExecPolicy
 }
 
 func main() {
@@ -121,8 +125,9 @@ func (s *session) dispatch(fields []string) (err error) {
 		fmt.Println("line a b c w1 w2 | isect w1 w2 | budget nodes | stats | metrics | slow | quit")
 		if s.dur != nil {
 			fmt.Println("insert x y w1 w2 | del handle | drange x1 x2 y1 y2 w1 w2 | checkpoint")
+			fmt.Println("snapshot [x1 x2 y1 y2 w1 w2]  (bare: pin current state; with args: query the pin)")
 		} else {
-			fmt.Println("(start with -durable <dir> for insert/del/drange/checkpoint)")
+			fmt.Println("(start with -durable <dir> for insert/del/drange/checkpoint/snapshot)")
 		}
 	case "stats":
 		sp := s.orp.Space()
@@ -273,6 +278,35 @@ func (s *session) dispatch(fields []string) (err error) {
 			return err
 		}
 		fmt.Printf("  checkpoint written at op %d; log truncated\n", s.dur.LastSeq())
+	case "snapshot":
+		if s.dur == nil {
+			return errDurableOff
+		}
+		if len(fields) == 1 {
+			s.snap = s.dur.Snapshot()
+			fmt.Printf("  pinned snapshot at op %d (%d live); 'snapshot x1 x2 y1 y2 w1 w2' queries it\n",
+				s.snap.Seq(), s.snap.Len())
+			return nil
+		}
+		if s.snap == nil {
+			return errors.New("no snapshot pinned; run 'snapshot' with no arguments first")
+		}
+		args, err := floats(fields[1:], 6)
+		if err != nil {
+			return err
+		}
+		q := &kwsc.Rect{Lo: []float64{args[0], args[2]}, Hi: []float64{args[1], args[3]}}
+		handles, st, err := s.snap.Collect(q, kws(args[4], args[5]))
+		if err != nil {
+			return err
+		}
+		behind := s.dur.LastSeq() - s.snap.Seq()
+		fmt.Printf("  %d results at pinned op %d (%d work units; %d ops behind head)",
+			len(handles), s.snap.Seq(), st.Ops, behind)
+		if len(handles) > 0 {
+			fmt.Printf("; handles: %v", handles)
+		}
+		fmt.Println()
 	default:
 		return fmt.Errorf("unknown command %q; type 'help'", fields[0])
 	}

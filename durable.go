@@ -13,8 +13,14 @@ import (
 // torn final write truncated and any deeper corruption refused (ErrCorrupt)
 // rather than silently skipped.
 //
+// The durable index is safe for concurrent use: writers serialize on an
+// internal write mutex while queries and snapshots run lock-free against the
+// published copy-on-write state — they never wait on a mutation, a
+// checkpoint, or an fsync.
+//
 //	d, err := kwsc.OpenDurable("idx.d", 2, 2) // dim=2, k=2
 //	h, err := d.Insert(obj)                   // durable once err == nil
+//	s := d.Snapshot()                         // pinned view of seq [1, s.Seq()]
 //	err = d.Checkpoint()                      // bound future recovery time
 //	err = d.Close()
 //	d, err = kwsc.OpenDurable("idx.d", 2, 2)  // recovers, handles stable

@@ -8,6 +8,8 @@ package kwsc
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -80,6 +82,76 @@ func BenchmarkRecoveryReplay(b *testing.B) {
 				b.StartTimer()
 			}
 			b.ReportMetric(float64(ops), "replayed-ops/op")
+		})
+	}
+}
+
+// BenchmarkConcurrentReadDuringChurn measures reader latency on the durable
+// index while writer goroutines churn with per-op fsync — the non-blocking
+// read guarantee as a number: with copy-on-write publication, reader
+// throughput at writers=1 or writers=4 should stay within a small factor of
+// the idle writers=0 case instead of collapsing behind the fsync. (On a
+// single-core machine the busy writers steal reader timeslices, so the gap
+// there measures CPU contention, not blocking; TestReadersNotBlockedBySlowFsync
+// pins the blocking contract itself.)
+func BenchmarkConcurrentReadDuringChurn(b *testing.B) {
+	for _, writers := range []int{0, 1, 4} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			dir := b.TempDir()
+			// Seed without paying per-op fsync, then reopen under the
+			// policy the churn writers will stress.
+			seed, err := OpenDurable(dir, 2, 2, WithFsyncPolicy(FsyncNone))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, o := range durableObjs(4096) {
+				if _, err := seed.Insert(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := seed.Close(); err != nil {
+				b.Fatal(err)
+			}
+			d, err := OpenDurable(dir, 2, 2, WithFsyncPolicy(FsyncEveryOp))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			churn := durableObjs(1024)
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					// Insert/delete pairs keep the index size stable, so
+					// the readers' work stays comparable across writer
+					// counts and the measurement isolates interference.
+					for i := 0; !stop.Load(); i++ {
+						h, err := d.Insert(churn[(w*331+i)%len(churn)])
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := d.Delete(h); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			q := NewRect([]float64{0.2, 0.2}, []float64{0.7, 0.7})
+			ws := []Keyword{1, 2}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := d.Collect(q, ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			stop.Store(true)
+			wg.Wait()
 		})
 	}
 }

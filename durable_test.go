@@ -67,3 +67,75 @@ func TestOpenDurableRoundTrip(t *testing.T) {
 		t.Fatal("OpenDurable accepted a dim mismatch")
 	}
 }
+
+// TestDurableSnapshotPinned pins a snapshot through the facade and requires
+// it to answer identically after interleaved mutations moved the head on.
+func TestDurableSnapshotPinned(t *testing.T) {
+	dir := t.TempDir()
+	d, err := kwsc.OpenDurable(dir, 2, 2,
+		kwsc.WithFsyncPolicy(kwsc.FsyncNone), kwsc.WithDurableBufferCap(4))
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	defer d.Close()
+	for i := 0; i < 12; i++ {
+		if _, err := d.Insert(kwsc.Object{
+			Point: kwsc.Point{float64(i) / 12, 0.5},
+			Doc:   []kwsc.Keyword{1, kwsc.Keyword(2 + i%3)},
+		}); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	var s *kwsc.DynSnapshot = d.Snapshot()
+	if s.Seq() != d.LastSeq() {
+		t.Fatalf("snapshot seq %d, head %d", s.Seq(), d.LastSeq())
+	}
+	all := kwsc.NewRect([]float64{0, 0}, []float64{1, 1})
+	ws := []kwsc.Keyword{1, 2}
+	before, _, err := s.Collect(all, ws)
+	if err != nil {
+		t.Fatalf("snapshot Collect: %v", err)
+	}
+	sort.Slice(before, func(i, j int) bool { return before[i] < before[j] })
+
+	// Mutate past the pin: delete every object the pinned query reported and
+	// insert replacements, forcing carries through the pinned buckets.
+	for _, h := range before {
+		if ok, err := d.Delete(h); err != nil || !ok {
+			t.Fatalf("Delete(%d): %v %v", h, ok, err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := d.Insert(kwsc.Object{
+			Point: kwsc.Point{0.5, float64(i) / 20},
+			Doc:   []kwsc.Keyword{1, 2},
+		}); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+
+	after, _, err := s.Collect(all, ws)
+	if err != nil {
+		t.Fatalf("pinned Collect after churn: %v", err)
+	}
+	sort.Slice(after, func(i, j int) bool { return after[i] < after[j] })
+	if len(before) == 0 || len(before) != len(after) {
+		t.Fatalf("pinned view changed size: %v then %v", before, after)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("pinned view changed: %v then %v", before, after)
+		}
+	}
+	// The live index, by contrast, sees the churn.
+	liveNow, _, err := d.Collect(all, ws)
+	if err != nil {
+		t.Fatalf("live Collect: %v", err)
+	}
+	if len(liveNow) == len(before) {
+		t.Fatalf("churn did not change the live answer (%d handles)", len(liveNow))
+	}
+	if d.LastSeq() <= s.Seq() {
+		t.Fatalf("head seq %d did not advance past pin %d", d.LastSeq(), s.Seq())
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
@@ -24,30 +26,153 @@ import (
 //
 // Objects are identified by stable handles assigned at insertion; reported
 // results carry handles, not positional ids (positions change at merges).
+//
+// # Concurrency
+//
+// The index is safe for any number of concurrent readers alongside its
+// (internally serialized) writers, and reads never block on writes: all
+// mutable state lives in an immutable dynState value published through an
+// atomic pointer. A mutator — serialized on the writer mutex — builds the
+// successor state off to the side (buckets are immutable static indexes, so
+// a merge reuses them wholesale) and installs it with a single atomic store;
+// a query loads the pointer once and runs entirely against that consistent
+// snapshot, so it can never observe a half-applied mutation. SnapshotNow
+// pins a state explicitly for repeatable reads. See DESIGN.md §13 for the
+// publication protocol and the memory-ordering argument.
 type DynamicORPKW struct {
-	k, dim     int
-	bufferCap  int
-	buffer     []dynEntry
-	buckets    []*dynBucket // buckets[i] holds at most bufferCap<<i entries
-	deleted    map[int64]struct{}
+	k, dim    int
+	bufferCap int
+	fam       family
+	tracer    obs.Tracer
+	bopts     BuildOpts // construction options for bucket rebuilds
+
+	// state is the current published snapshot; readers Load it exactly once
+	// per operation and never write it.
+	state atomic.Pointer[dynState]
+
+	// mu serializes mutators (Insert/Delete/SetJournal/SetSeq and recovery
+	// bulk-loads). It is never taken on the query path.
+	mu      sync.Mutex
+	journal Journal
+}
+
+// dynState is one immutable version of the index. Every field is frozen at
+// publication: successor states copy what they change (the buffer slice, the
+// bucket slice, the tombstone set) and share the rest. Readers therefore see
+// either the state before a mutation or the state after it, never a mix.
+type dynState struct {
+	buffer  []dynEntry   // unindexed recent inserts (never mutated in place)
+	buckets []*dynBucket // buckets[i] holds at most bufferCap<<i entries
+	deleted *tombSet     // tombstoned handles still present in buckets
+
 	nextHandle int64
 	live       int
 
-	fam     family
-	tracer  obs.Tracer
-	bopts   BuildOpts // construction options for bucket rebuilds
-	journal Journal
+	// seq is the number of mutations applied to reach this state. When a
+	// Journal is attached it equals the WAL sequence number of the last
+	// acknowledged record included in this state (recovery aligns the base
+	// via SetSeq), which is what pins MVCC snapshot reads to an acked-WAL
+	// prefix.
+	seq uint64
+}
 
-	// Last values pushed to the shared structural gauges; the gauges are
-	// updated with deltas so several dynamic indexes aggregate coherently.
-	obsNumBuckets, obsLive, obsBuffered, obsTombstones int
+func (st *dynState) numBuckets() int {
+	c := 0
+	for _, b := range st.buckets {
+		if b != nil {
+			c++
+		}
+	}
+	return c
+}
+
+// tombSet is an immutable set of tombstoned handles: a shared base map plus
+// a short overlay of recent additions. with() copies only the overlay, so a
+// copy-on-write delete costs O(tombOverlayCap) instead of O(tombstones);
+// when the overlay fills it folds into a fresh base map, amortizing the full
+// copy over tombOverlayCap deletes. A nil *tombSet is the empty set.
+type tombSet struct {
+	base    map[int64]struct{} // shared across states; never mutated
+	overlay []int64            // additions since base was built; small
+}
+
+const tombOverlayCap = 32
+
+func (t *tombSet) has(h int64) bool {
+	if t == nil {
+		return false
+	}
+	for _, x := range t.overlay {
+		if x == h {
+			return true
+		}
+	}
+	_, ok := t.base[h]
+	return ok
+}
+
+func (t *tombSet) size() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.base) + len(t.overlay)
+}
+
+// with returns the set plus h. h must not already be a member (callers check
+// has first); membership is kept disjoint between base and overlay so size
+// stays a plain sum.
+func (t *tombSet) with(h int64) *tombSet {
+	if t == nil {
+		return &tombSet{overlay: []int64{h}}
+	}
+	if len(t.overlay) < tombOverlayCap {
+		ov := make([]int64, len(t.overlay)+1)
+		copy(ov, t.overlay)
+		ov[len(t.overlay)] = h
+		return &tombSet{base: t.base, overlay: ov}
+	}
+	m := make(map[int64]struct{}, len(t.base)+len(t.overlay)+1)
+	for k := range t.base {
+		m[k] = struct{}{}
+	}
+	for _, x := range t.overlay {
+		m[x] = struct{}{}
+	}
+	m[h] = struct{}{}
+	return &tombSet{base: m}
+}
+
+// materialize returns a fresh mutable copy of the set, for merge-time
+// purging. Mutating the copy never affects published states.
+func (t *tombSet) materialize() map[int64]struct{} {
+	if t == nil {
+		return map[int64]struct{}{}
+	}
+	m := make(map[int64]struct{}, t.size())
+	for k := range t.base {
+		m[k] = struct{}{}
+	}
+	for _, x := range t.overlay {
+		m[x] = struct{}{}
+	}
+	return m
+}
+
+// tombSetFrom wraps an already-private map (built by materialize and pruned)
+// as an immutable set; ownership of m transfers to the set.
+func tombSetFrom(m map[int64]struct{}) *tombSet {
+	if len(m) == 0 {
+		return nil
+	}
+	return &tombSet{base: m}
 }
 
 // Journal receives every mutation before it is applied, so a durability
 // layer can make the operation recoverable first. A non-nil error vetoes the
 // mutation: the index stays unchanged and the error is returned to the
 // caller — an op is acknowledged only after its journal write succeeded.
-// The hooks run synchronously on the mutating goroutine.
+// The hooks run synchronously on the mutating goroutine, under the writer
+// mutex, strictly before the successor state is published.
 type Journal interface {
 	// LogInsert records the insertion of obj under the given (already
 	// assigned) stable handle.
@@ -59,13 +184,20 @@ type Journal interface {
 // SetJournal installs (or, with nil, removes) the mutation journal. It is
 // meant to be called once, right after construction or recovery, before the
 // index takes writes.
-func (d *DynamicORPKW) SetJournal(j Journal) { d.journal = j }
+func (d *DynamicORPKW) SetJournal(j Journal) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.journal = j
+}
 
 type dynEntry struct {
 	handle int64
 	obj    dataset.Object
 }
 
+// dynBucket is one static part. It is immutable after construction: the
+// entries slice is never appended to or reordered, and the static index is
+// safe for concurrent readers, so buckets are shared freely across states.
 type dynBucket struct {
 	ix      *ORPKW
 	entries []dynEntry // parallel to the bucket dataset's object ids
@@ -85,44 +217,66 @@ func NewDynamicORPKW(dim, k, bufferCap int, opts ...BuildOption) (*DynamicORPKW,
 		bufferCap = 64
 	}
 	o := resolveOpts(opts)
-	return &DynamicORPKW{
+	d := &DynamicORPKW{
 		k: k, dim: dim, bufferCap: bufferCap,
-		deleted: make(map[int64]struct{}),
-		fam:     o.famFor(famDynamic), tracer: o.Tracer, bopts: o,
-	}, nil
+		fam: o.famFor(famDynamic), tracer: o.Tracer, bopts: o,
+	}
+	d.state.Store(&dynState{})
+	return d, nil
 }
 
-// syncObs pushes structural deltas (bucket count, live objects, buffered
-// writes, tombstones) to the shared gauges; called after every mutation.
-func (d *DynamicORPKW) syncObs() {
+// publish installs ns as the current state — the single atomic commit point
+// of every mutation — and pushes structural gauge deltas computed against
+// prev, the state the mutator started from. The writer mutex makes prev the
+// currently published state, so concurrent publications cannot double-count:
+// every delta is new-minus-published, applied exactly once, in publication
+// order.
+func (d *DynamicORPKW) publish(prev, ns *dynState) {
+	d.state.Store(ns)
 	if d.fam == famNone {
 		return
 	}
-	nb := d.NumBuckets()
-	dynBuckets.Add(int64(nb - d.obsNumBuckets))
-	d.obsNumBuckets = nb
-	dynLive.Add(int64(d.live - d.obsLive))
-	d.obsLive = d.live
-	buf := len(d.buffer)
-	dynBuffered.Add(int64(buf - d.obsBuffered))
-	d.obsBuffered = buf
-	tomb := len(d.deleted)
-	dynTombstones.Add(int64(tomb - d.obsTombstones))
-	d.obsTombstones = tomb
+	dynPublishes.Inc()
+	dynBuckets.Add(int64(ns.numBuckets() - prev.numBuckets()))
+	dynLive.Add(int64(ns.live - prev.live))
+	dynBuffered.Add(int64(len(ns.buffer) - len(prev.buffer)))
+	dynTombstones.Add(int64(ns.deleted.size() - prev.deleted.size()))
 }
 
 // Len returns the number of live objects.
-func (d *DynamicORPKW) Len() int { return d.live }
+func (d *DynamicORPKW) Len() int { return d.state.Load().live }
 
 // K returns the query keyword arity.
 func (d *DynamicORPKW) K() int { return d.k }
 
 // NextHandle returns the handle the next insertion will be assigned.
-func (d *DynamicORPKW) NextHandle() int64 { return d.nextHandle }
+func (d *DynamicORPKW) NextHandle() int64 { return d.state.Load().nextHandle }
 
 // Tombstones returns the number of deleted-but-unpurged bucket entries
 // (exposed for the compaction regression tests and instrumentation).
-func (d *DynamicORPKW) Tombstones() int { return len(d.deleted) }
+func (d *DynamicORPKW) Tombstones() int { return d.state.Load().deleted.size() }
+
+// Seq returns the mutation sequence number of the published state: the
+// count of applied mutations or, with a journal attached, the WAL sequence
+// of the last acknowledged record visible to new queries.
+func (d *DynamicORPKW) Seq() uint64 { return d.state.Load().seq }
+
+// SetSeq aligns the published state's sequence number with an external
+// journal's numbering without touching the data. Recovery calls it between
+// restoring a checkpoint (whose entries correspond to the checkpoint's
+// LastSeq, not to the restore-time mutation count) and replaying the log,
+// before the index takes writes or serves queries.
+func (d *DynamicORPKW) SetSeq(seq uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.state.Load()
+	if st.seq == seq {
+		return
+	}
+	ns := *st
+	ns.seq = seq
+	d.publish(st, &ns)
+}
 
 // Insert adds an object and returns its stable handle.
 func (d *DynamicORPKW) Insert(obj dataset.Object) (int64, error) {
@@ -132,7 +286,6 @@ func (d *DynamicORPKW) Insert(obj dataset.Object) (int64, error) {
 	if len(obj.Doc) == 0 {
 		return 0, fmt.Errorf("core: object with empty document")
 	}
-	h := d.nextHandle
 	// The document copy is normalized (sorted, de-duplicated) immediately —
 	// not deferred to the first merge — so the buffer, the journal, and the
 	// bucket datasets all see the same canonical form.
@@ -140,48 +293,68 @@ func (d *DynamicORPKW) Insert(obj dataset.Object) (int64, error) {
 		Point: obj.Point.Clone(),
 		Doc:   dataset.NormalizeDoc(append([]dataset.Keyword(nil), obj.Doc...)),
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.state.Load()
+	h := st.nextHandle
 	if d.journal != nil {
 		if err := d.journal.LogInsert(h, cp); err != nil {
 			return 0, err
 		}
 	}
-	d.nextHandle++
-	d.buffer = append(d.buffer, dynEntry{handle: h, obj: cp})
-	d.live++
+	buf := make([]dynEntry, len(st.buffer)+1)
+	copy(buf, st.buffer)
+	buf[len(st.buffer)] = dynEntry{handle: h, obj: cp}
+	ns := &dynState{
+		buffer: buf, buckets: st.buckets, deleted: st.deleted,
+		nextHandle: h + 1, live: st.live + 1, seq: st.seq + 1,
+	}
 	if d.fam != famNone {
 		dynInserts.Inc()
 	}
-	if len(d.buffer) >= d.bufferCap {
-		if err := d.carry(); err != nil {
-			d.syncObs()
-			return 0, err
+	// The op is journaled, so it must become visible even if the merge it
+	// triggers fails: publish the carried state on success, the plain
+	// buffered state otherwise (mirroring recovery, which replays the record
+	// into a buffer append and is free to merge later).
+	var carryErr error
+	if len(ns.buffer) >= d.bufferCap {
+		if merged, err := d.carried(ns); err != nil {
+			carryErr = err
+		} else {
+			ns = merged
 		}
 	}
-	d.syncObs()
+	d.publish(st, ns)
+	if carryErr != nil {
+		return 0, carryErr
+	}
 	return h, nil
 }
 
 // Delete removes the object with the given handle. Deleting an unknown or
 // already-deleted handle returns false.
 func (d *DynamicORPKW) Delete(handle int64) (bool, error) {
-	if handle < 0 || handle >= d.nextHandle {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.state.Load()
+	if handle < 0 || handle >= st.nextHandle {
 		return false, nil
 	}
-	if _, gone := d.deleted[handle]; gone {
+	if st.deleted.has(handle) {
 		return false, nil
 	}
 	// Locate the handle first — in the buffer or in some bucket — so the
 	// journal only ever records deletions of live handles.
 	bufIdx := -1
-	for i := range d.buffer {
-		if d.buffer[i].handle == handle {
+	for i := range st.buffer {
+		if st.buffer[i].handle == handle {
 			bufIdx = i
 			break
 		}
 	}
 	if bufIdx < 0 {
 		found := false
-		for _, b := range d.buckets {
+		for _, b := range st.buckets {
 			if b == nil {
 				continue
 			}
@@ -204,63 +377,101 @@ func (d *DynamicORPKW) Delete(handle int64) (bool, error) {
 			return false, err
 		}
 	}
-	if bufIdx >= 0 {
-		// Buffer entries are removed in place.
-		d.buffer = append(d.buffer[:bufIdx], d.buffer[bufIdx+1:]...)
-		d.live--
-		if d.fam != famNone {
-			dynDeletes.Inc()
-		}
-		d.syncObs()
-		return true, nil
+	ns := &dynState{
+		buffer: st.buffer, buckets: st.buckets, deleted: st.deleted,
+		nextHandle: st.nextHandle, live: st.live - 1, seq: st.seq + 1,
 	}
-	d.deleted[handle] = struct{}{}
-	d.live--
+	if bufIdx >= 0 {
+		buf := make([]dynEntry, 0, len(st.buffer)-1)
+		buf = append(buf, st.buffer[:bufIdx]...)
+		buf = append(buf, st.buffer[bufIdx+1:]...)
+		ns.buffer = buf
+	} else {
+		ns.deleted = st.deleted.with(handle)
+	}
 	if d.fam != famNone {
 		dynDeletes.Inc()
 	}
 	// Compact when tombstones exceed half the live count: merges only purge
 	// the buckets they touch, so without this trigger a delete-heavy workload
-	// leaks tombstones (and their map memory) indefinitely.
-	if 2*len(d.deleted) > d.live {
-		if err := d.rebuildAll(); err != nil {
-			d.syncObs()
-			return true, err
+	// leaks tombstones (and their map memory) indefinitely. The delete itself
+	// is journaled and must stick, so a failed compaction publishes the
+	// uncompacted state and surfaces the error alongside ok=true.
+	var rebErr error
+	if 2*ns.deleted.size() > ns.live {
+		if rb, err := d.rebuilt(ns); err != nil {
+			rebErr = err
+		} else {
+			ns = rb
 		}
 	}
-	d.syncObs()
-	return true, nil
+	d.publish(st, ns)
+	return true, rebErr
 }
 
-// carry merges the buffer with the maximal run of occupied buckets
-// (binary-counter style), purging tombstones, and installs the result at the
-// smallest slot whose capacity fits.
-func (d *DynamicORPKW) carry() error {
+// carried returns the successor of st after a binary-counter merge: the full
+// buffer plus the maximal run of occupied buckets, purged of tombstones,
+// installed at the smallest slot whose capacity fits. st is not modified.
+func (d *DynamicORPKW) carried(st *dynState) (*dynState, error) {
 	if d.fam != famNone {
 		dynCarries.Inc()
 	}
-	entries := d.takeBuffer()
+	entries := append([]dynEntry(nil), st.buffer...)
+	buckets := append([]*dynBucket(nil), st.buckets...)
 	slot := 0
-	for slot < len(d.buckets) && d.buckets[slot] != nil {
-		entries = append(entries, d.buckets[slot].entries...)
-		d.buckets[slot] = nil
+	for slot < len(buckets) && buckets[slot] != nil {
+		entries = append(entries, buckets[slot].entries...)
+		buckets[slot] = nil
 		slot++
 	}
-	entries = d.purge(entries)
-	return d.install(entries, slot)
+	tombs := st.deleted.materialize()
+	entries = purge(entries, tombs)
+	ns := &dynState{
+		buckets:    buckets,
+		nextHandle: st.nextHandle, live: st.live, seq: st.seq,
+	}
+	if err := d.installInto(ns, entries, slot, tombs); err != nil {
+		return nil, err
+	}
+	ns.deleted = tombSetFrom(tombs)
+	return ns, nil
 }
 
-func (d *DynamicORPKW) takeBuffer() []dynEntry {
-	out := d.buffer
-	d.buffer = nil
-	return out
+// rebuilt returns the successor of st with everything merged into a single
+// static index and every tombstone purged. st is not modified.
+func (d *DynamicORPKW) rebuilt(st *dynState) (*dynState, error) {
+	if d.fam != famNone {
+		dynRebuilds.Inc()
+	}
+	entries := append([]dynEntry(nil), st.buffer...)
+	for _, b := range st.buckets {
+		if b != nil {
+			entries = append(entries, b.entries...)
+		}
+	}
+	tombs := st.deleted.materialize()
+	entries = purge(entries, tombs)
+	ns := &dynState{nextHandle: st.nextHandle, live: st.live, seq: st.seq}
+	if len(entries) == 0 {
+		return ns, nil
+	}
+	if err := d.installInto(ns, entries, 0, tombs); err != nil {
+		return nil, err
+	}
+	// Every tombstone names a bucket entry and every bucket was merged, so
+	// the purge consumed the whole set.
+	ns.deleted = tombSetFrom(tombs)
+	return ns, nil
 }
 
-func (d *DynamicORPKW) purge(entries []dynEntry) []dynEntry {
+// purge filters out tombstoned entries, consuming the matched handles from
+// tombs. entries must be privately owned by the caller (it is filtered in
+// place); published slices are never passed here.
+func purge(entries []dynEntry, tombs map[int64]struct{}) []dynEntry {
 	out := entries[:0]
 	for _, e := range entries {
-		if _, gone := d.deleted[e.handle]; gone {
-			delete(d.deleted, e.handle)
+		if _, gone := tombs[e.handle]; gone {
+			delete(tombs, e.handle)
 			continue
 		}
 		out = append(out, e)
@@ -268,9 +479,11 @@ func (d *DynamicORPKW) purge(entries []dynEntry) []dynEntry {
 	return out
 }
 
-// install places entries in the smallest slot >= minSlot whose capacity
-// bufferCap<<slot holds them, growing the bucket array as needed.
-func (d *DynamicORPKW) install(entries []dynEntry, minSlot int) error {
+// installInto places entries in the smallest slot >= minSlot of ns.buckets
+// whose capacity bufferCap<<slot holds them, growing the bucket slice as
+// needed. ns must be an unpublished state under construction whose buckets
+// slice is privately owned; entries and tombs likewise.
+func (d *DynamicORPKW) installInto(ns *dynState, entries []dynEntry, minSlot int, tombs map[int64]struct{}) error {
 	if len(entries) == 0 {
 		return nil
 	}
@@ -280,20 +493,26 @@ func (d *DynamicORPKW) install(entries []dynEntry, minSlot int) error {
 	}
 	// The target slot may be occupied when a purge shrank a merge below its
 	// natural size; cascade upward.
-	for slot < len(d.buckets) && d.buckets[slot] != nil {
-		entries = append(entries, d.buckets[slot].entries...)
-		d.buckets[slot] = nil
-		entries = d.purge(entries)
+	for slot < len(ns.buckets) && ns.buckets[slot] != nil {
+		entries = append(entries, ns.buckets[slot].entries...)
+		ns.buckets[slot] = nil
+		entries = purge(entries, tombs)
 		for d.bufferCap<<slot < len(entries) {
 			slot++
 		}
 	}
-	for len(d.buckets) <= slot {
-		d.buckets = append(d.buckets, nil)
+	for len(ns.buckets) <= slot {
+		ns.buckets = append(ns.buckets, nil)
 	}
 	objs := make([]dataset.Object, len(entries))
 	for i, e := range entries {
-		objs[i] = e.obj
+		// Clone each document: dataset.New re-normalizes docs in place, and
+		// the entry's doc slice is shared with previously published states
+		// that concurrent readers may be scanning right now.
+		objs[i] = dataset.Object{
+			Point: e.obj.Point,
+			Doc:   append([]dataset.Keyword(nil), e.obj.Doc...),
+		}
 	}
 	ds, err := dataset.New(objs)
 	if err != nil {
@@ -305,29 +524,8 @@ func (d *DynamicORPKW) install(entries []dynEntry, minSlot int) error {
 	if err != nil {
 		return err
 	}
-	d.buckets[slot] = &dynBucket{ix: ix, entries: entries}
+	ns.buckets[slot] = &dynBucket{ix: ix, entries: entries}
 	return nil
-}
-
-// rebuildAll merges everything into a single static index.
-func (d *DynamicORPKW) rebuildAll() error {
-	if d.fam != famNone {
-		dynRebuilds.Inc()
-	}
-	var entries []dynEntry
-	entries = append(entries, d.takeBuffer()...)
-	for i, b := range d.buckets {
-		if b != nil {
-			entries = append(entries, b.entries...)
-			d.buckets[i] = nil
-		}
-	}
-	entries = d.purge(entries)
-	d.deleted = make(map[int64]struct{})
-	if len(entries) == 0 {
-		return nil
-	}
-	return d.install(entries, 0)
 }
 
 // Query reports (handle, object) for every live object in q whose document
@@ -342,7 +540,15 @@ func (d *DynamicORPKW) Query(q *geom.Rect, ws []dataset.Keyword, report func(han
 // entry); a violation returns the partial results reported so far with a
 // typed error. Limit suppresses reports past the cap and skips the remaining
 // buckets, though the bucket being scanned runs to completion.
-func (d *DynamicORPKW) QueryWith(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(handle int64, obj *dataset.Object)) (st QueryStats, err error) {
+//
+// The query runs lock-free against the state published when it started;
+// mutations that land mid-query are not observed, in whole or in part.
+func (d *DynamicORPKW) QueryWith(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(handle int64, obj *dataset.Object)) (QueryStats, error) {
+	return d.queryState(d.state.Load(), q, ws, opts, report)
+}
+
+// queryState runs one query entirely against the snapshot sn.
+func (d *DynamicORPKW) queryState(sn *dynState, q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(handle int64, obj *dataset.Object)) (st QueryStats, err error) {
 	qt := obsBegin(d.fam, "Query", d.tracer)
 	defer func() {
 		if r := recover(); r != nil {
@@ -364,8 +570,8 @@ func (d *DynamicORPKW) QueryWith(q *geom.Rect, ws []dataset.Keyword, opts QueryO
 	opts = opts.normalized()
 	ps := newPolState(opts.Policy)
 	// Buffer: linear scan (bounded by bufferCap).
-	for i := range d.buffer {
-		e := &d.buffer[i]
+	for i := range sn.buffer {
+		e := &sn.buffer[i]
 		st.Ops++
 		if err := ps.check(&st, st.Ops); err != nil {
 			return st, err
@@ -379,7 +585,7 @@ func (d *DynamicORPKW) QueryWith(q *geom.Rect, ws []dataset.Keyword, opts QueryO
 			st.Reported++
 		}
 	}
-	for _, b := range d.buckets {
+	for _, b := range sn.buckets {
 		if b == nil {
 			continue
 		}
@@ -394,7 +600,7 @@ func (d *DynamicORPKW) QueryWith(q *geom.Rect, ws []dataset.Keyword, opts QueryO
 		bopts := QueryOpts{Budget: opts.Budget, Policy: opts.Policy.shrunk(st.Ops)}
 		bst, berr := b.ix.Query(q, ws, bopts, func(id int32) {
 			e := &b.entries[id]
-			if _, gone := d.deleted[e.handle]; gone {
+			if sn.deleted.has(e.handle) {
 				return
 			}
 			if opts.Limit > 0 && st.Reported+live >= opts.Limit {
@@ -425,8 +631,9 @@ func (d *DynamicORPKW) Collect(q *geom.Rect, ws []dataset.Keyword) ([]int64, Que
 // Buckets returns the occupancy pattern (entry counts per slot), exposed for
 // tests and instrumentation of the logarithmic structure.
 func (d *DynamicORPKW) Buckets() []int {
-	out := make([]int, len(d.buckets))
-	for i, b := range d.buckets {
+	st := d.state.Load()
+	out := make([]int, len(st.buckets))
+	for i, b := range st.buckets {
 		if b != nil {
 			out[i] = len(b.entries)
 		}
@@ -437,13 +644,7 @@ func (d *DynamicORPKW) Buckets() []int {
 // NumBuckets returns the number of occupied static parts; O(log n) by the
 // binary-counter invariant.
 func (d *DynamicORPKW) NumBuckets() int {
-	c := 0
-	for _, b := range d.buckets {
-		if b != nil {
-			c++
-		}
-	}
-	return c
+	return d.state.Load().numBuckets()
 }
 
 // docHasAll is the buffer-side membership check (documents there are small
@@ -464,6 +665,60 @@ func docHasAll(doc, ws []dataset.Keyword) bool {
 	return true
 }
 
+// DynSnapshot is an immutable point-in-time view of a DynamicORPKW, pinned
+// by SnapshotNow. Queries against it are repeatable — they see exactly the
+// mutations applied up to Seq(), no matter how much churn lands afterwards —
+// and cost nothing to hold beyond the memory of the pinned state (which the
+// garbage collector reclaims once the snapshot is dropped and merges have
+// superseded its buckets). With a journal attached, Seq() is the WAL
+// sequence of the last acknowledged record the view includes, so a pinned
+// query reads exactly the acked-WAL prefix at that seq.
+type DynSnapshot struct {
+	d  *DynamicORPKW
+	st *dynState
+}
+
+// SnapshotNow pins the currently published state for repeatable reads.
+func (d *DynamicORPKW) SnapshotNow() *DynSnapshot {
+	if d.fam != famNone {
+		dynSnapshotPins.Inc()
+	}
+	return &DynSnapshot{d: d, st: d.state.Load()}
+}
+
+// Seq returns the sequence number the view is pinned to.
+func (s *DynSnapshot) Seq() uint64 { return s.st.seq }
+
+// Len returns the number of live objects in the view.
+func (s *DynSnapshot) Len() int { return s.st.live }
+
+// NumBuckets returns the occupied static parts of the view.
+func (s *DynSnapshot) NumBuckets() int { return s.st.numBuckets() }
+
+// Tombstones returns the deleted-but-unpurged entry count of the view.
+func (s *DynSnapshot) Tombstones() int { return s.st.deleted.size() }
+
+// Query reports (handle, object) for every object live at the pinned seq in
+// q whose document contains all k keywords.
+func (s *DynSnapshot) Query(q *geom.Rect, ws []dataset.Keyword, report func(handle int64, obj *dataset.Object)) (QueryStats, error) {
+	return s.QueryWith(q, ws, QueryOpts{}, report)
+}
+
+// QueryWith is Query under explicit options; see DynamicORPKW.QueryWith.
+func (s *DynSnapshot) QueryWith(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(handle int64, obj *dataset.Object)) (QueryStats, error) {
+	if s.d.fam != famNone {
+		dynSnapStaleness.Set(int64(s.d.state.Load().seq - s.st.seq))
+	}
+	return s.d.queryState(s.st, q, ws, opts, report)
+}
+
+// Collect is Query returning the handles.
+func (s *DynSnapshot) Collect(q *geom.Rect, ws []dataset.Keyword) ([]int64, QueryStats, error) {
+	var out []int64
+	st, err := s.Query(q, ws, func(h int64, _ *dataset.Object) { out = append(out, h) })
+	return out, st, err
+}
+
 // DynEntry is one live (handle, object) pair of a dynamic index — the unit
 // of a durability snapshot.
 type DynEntry struct {
@@ -471,21 +726,23 @@ type DynEntry struct {
 	Obj    dataset.Object
 }
 
-// Snapshot returns every live entry in ascending handle order. The returned
-// objects alias the index's internal copies; callers must treat them as
-// read-only and must not mutate the index while holding the slice.
-func (d *DynamicORPKW) Snapshot() []DynEntry {
-	out := make([]DynEntry, 0, d.live)
-	for i := range d.buffer {
-		out = append(out, DynEntry{Handle: d.buffer[i].handle, Obj: d.buffer[i].obj})
+// Entries returns every entry live at the pinned seq in ascending handle
+// order. The returned objects alias the index's internal copies; callers
+// must treat them as read-only (holding them across further mutations is
+// fine — the pinned state is immutable).
+func (s *DynSnapshot) Entries() []DynEntry {
+	st := s.st
+	out := make([]DynEntry, 0, st.live)
+	for i := range st.buffer {
+		out = append(out, DynEntry{Handle: st.buffer[i].handle, Obj: st.buffer[i].obj})
 	}
-	for _, b := range d.buckets {
+	for _, b := range st.buckets {
 		if b == nil {
 			continue
 		}
 		for i := range b.entries {
 			e := &b.entries[i]
-			if _, gone := d.deleted[e.handle]; gone {
+			if st.deleted.has(e.handle) {
 				continue
 			}
 			out = append(out, DynEntry{Handle: e.handle, Obj: e.obj})
@@ -498,7 +755,9 @@ func (d *DynamicORPKW) Snapshot() []DynEntry {
 // RestoreDynamicORPKW rebuilds a dynamic index from a durability snapshot:
 // the live entries (any order; they are sorted by handle) plus the
 // next-handle watermark, which must exceed every entry's handle so that
-// handles assigned after recovery never collide with restored ones.
+// handles assigned after recovery never collide with restored ones. The
+// whole load is published as one state; use SetSeq afterwards to align the
+// sequence number with the snapshot's journal position.
 func RestoreDynamicORPKW(dim, k, bufferCap int, entries []DynEntry, nextHandle int64, opts ...BuildOption) (*DynamicORPKW, error) {
 	d, err := NewDynamicORPKW(dim, k, bufferCap, opts...)
 	if err != nil {
@@ -506,6 +765,7 @@ func RestoreDynamicORPKW(dim, k, bufferCap int, entries []DynEntry, nextHandle i
 	}
 	sorted := append([]DynEntry(nil), entries...)
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Handle < sorted[b].Handle })
+	st := &dynState{}
 	for i, e := range sorted {
 		if e.Handle < 0 || e.Handle >= nextHandle {
 			return nil, fmt.Errorf("core: snapshot handle %d outside [0, %d)", e.Handle, nextHandle)
@@ -519,16 +779,20 @@ func RestoreDynamicORPKW(dim, k, bufferCap int, entries []DynEntry, nextHandle i
 		if len(e.Obj.Doc) == 0 {
 			return nil, fmt.Errorf("core: snapshot object with empty document")
 		}
-		d.buffer = append(d.buffer, dynEntry{handle: e.Handle, obj: e.Obj})
-		d.live++
-		if len(d.buffer) >= d.bufferCap {
-			if err := d.carry(); err != nil {
+		st.buffer = append(st.buffer, dynEntry{handle: e.Handle, obj: e.Obj})
+		st.live++
+		if len(st.buffer) >= d.bufferCap {
+			ns, err := d.carried(st)
+			if err != nil {
 				return nil, err
 			}
+			st = ns
 		}
 	}
-	d.nextHandle = nextHandle
-	d.syncObs()
+	st.nextHandle = nextHandle
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.publish(d.state.Load(), st)
 	return d, nil
 }
 

@@ -102,6 +102,15 @@ var (
 	dynBuffered   = obs.Default().Gauge("kwsc_dynamic_buffered")
 	dynTombstones = obs.Default().Gauge("kwsc_dynamic_tombstones")
 
+	// Copy-on-write state publication and MVCC snapshot health: one publish
+	// per applied mutation (there are no retries — publication is serialized
+	// on the writer mutex, so the counter doubles as the applied-op count),
+	// one pin per SnapshotNow, and the last observed reader staleness (ops
+	// between a pinned query's seq and the head seq at query time).
+	dynPublishes     = obs.Default().Counter("kwsc_dynamic_state_publishes_total")
+	dynSnapshotPins  = obs.Default().Counter("kwsc_dynamic_snapshot_pins_total")
+	dynSnapStaleness = obs.Default().Gauge("kwsc_dynamic_snapshot_staleness_ops")
+
 	batchRuns    = obs.Default().Counter("kwsc_batch_runs_total")
 	batchQueries = obs.Default().Counter("kwsc_batch_queries_total")
 

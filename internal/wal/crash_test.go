@@ -128,10 +128,17 @@ func modelAfter(ops []crashOp, n int) (live map[int64]dataset.Object, nextHandle
 	return live, nextHandle
 }
 
+// queryable is anything that answers Collect/Len over handles — a live
+// Durable or a pinned DynSnapshot view.
+type queryable interface {
+	Collect(q *geom.Rect, ws []dataset.Keyword) ([]int64, core.QueryStats, error)
+	Len() int
+}
+
 // verifyAgainstBaseline checks the recovered index against an inverted-index
 // baseline built from the model: for a spread of (rectangle, keyword-pair)
 // queries, the handle sets must match exactly.
-func verifyAgainstBaseline(t *testing.T, d *Durable, live map[int64]dataset.Object) {
+func verifyAgainstBaseline(t *testing.T, d queryable, live map[int64]dataset.Object) {
 	t.Helper()
 	if d.Len() != len(live) {
 		t.Fatalf("recovered Len = %d, model has %d live objects", d.Len(), len(live))

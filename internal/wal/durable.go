@@ -15,18 +15,24 @@ import (
 // Durable is a crash-safe DynamicORPKW: every insert and delete is written
 // to the write-ahead log before it is applied and acknowledged, periodic
 // checkpoints bound replay time, and Open recovers the exact acknowledged
-// state after a crash. One writer at a time; all methods are
-// mutex-serialized and safe for concurrent use.
+// state after a crash. Safe for concurrent use: writers are serialized on an
+// internal write mutex, while queries, snapshots, and the metrics-style
+// accessors (Len, LastSeq, NumBuckets, Tombstones) run lock-free against the
+// dynamic index's published copy-on-write state — they never wait on a
+// mutation, a checkpoint, or an fsync.
 type Durable struct {
-	// The mutex also serializes queries: the underlying dynamic index
-	// mutates shared structures on insert, so reads cannot overlap writes.
+	// mu is the WRITE lock. It covers log append + successor-state build +
+	// atomic publish (plus checkpoint rotation and Close), which keeps the
+	// WAL order identical to the publication order — the invariant snapshot
+	// seq semantics rest on. It is never taken on the read path: a reader
+	// observing state at seq S sees exactly the acked-WAL prefix [1, S].
 	mu        sync.Mutex
 	dir       string
 	dim, k    int
 	cfg       config
 	idx       *core.DynamicORPKW
 	log       *log
-	seq       uint64 // sequence of the last logged record
+	seq       uint64 // sequence of the last logged record; guarded by mu
 	sinceCkpt int
 	closed    bool
 	scratch   []byte
@@ -207,7 +213,7 @@ func (d *Durable) checkpointLocked() error {
 	if err := d.log.sync(); err != nil {
 		return err
 	}
-	entries := d.idx.Snapshot()
+	entries := d.idx.SnapshotNow().Entries()
 	snap := &codec.Snapshot{
 		K: d.k, Dim: d.dim, LastSeq: d.seq, NextHandle: d.idx.NextHandle(),
 		Entries: make([]codec.SnapshotEntry, len(entries)),
@@ -278,33 +284,35 @@ func (d *Durable) Close() error {
 }
 
 // Query reports (handle, object) for every live object in q whose document
-// contains all k keywords; see core.DynamicORPKW.Query.
+// contains all k keywords; see core.DynamicORPKW.Query. Queries are
+// lock-free: they run against the state published by the last acknowledged
+// mutation and never wait on writers, checkpoints, or fsyncs. (They also
+// keep working after Close — the in-memory state outlives the log.)
 func (d *Durable) Query(q *geom.Rect, ws []dataset.Keyword, report func(handle int64, obj *dataset.Object)) (core.QueryStats, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return d.idx.Query(q, ws, report)
 }
 
 // QueryWith is Query under explicit options (limits, budgets, deadlines).
 func (d *Durable) QueryWith(q *geom.Rect, ws []dataset.Keyword, opts core.QueryOpts, report func(handle int64, obj *dataset.Object)) (core.QueryStats, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return d.idx.QueryWith(q, ws, opts, report)
 }
 
 // Collect is Query returning the handles.
 func (d *Durable) Collect(q *geom.Rect, ws []dataset.Keyword) ([]int64, core.QueryStats, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return d.idx.Collect(q, ws)
 }
 
-// Len returns the number of live objects.
-func (d *Durable) Len() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.idx.Len()
+// Snapshot pins the current acknowledged state for repeatable reads: queries
+// against the returned view answer identically no matter how many mutations
+// are applied afterwards, and its Seq() is the WAL sequence number of the
+// last acknowledged record it includes — the view is exactly the acked-WAL
+// prefix [1, Seq()]. Pinning takes one atomic load and no locks.
+func (d *Durable) Snapshot() *core.DynSnapshot {
+	return d.idx.SnapshotNow()
 }
+
+// Len returns the number of live objects.
+func (d *Durable) Len() int { return d.idx.Len() }
 
 // K returns the query keyword arity.
 func (d *Durable) K() int { return d.k }
@@ -312,28 +320,17 @@ func (d *Durable) K() int { return d.k }
 // Dim returns the point dimensionality.
 func (d *Durable) Dim() int { return d.dim }
 
-// LastSeq returns the sequence number of the last logged operation — the
-// length of the operation history a recovery of the current state would
-// replay to.
-func (d *Durable) LastSeq() uint64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.seq
-}
+// LastSeq returns the sequence number of the last acknowledged operation —
+// the length of the operation history a recovery of the current state would
+// replay to. It reads the published state (no lock), so a mutation in flight
+// is not counted until it is applied and acknowledged.
+func (d *Durable) LastSeq() uint64 { return d.idx.Seq() }
 
 // NumBuckets exposes the Bentley–Saxe occupancy for instrumentation.
-func (d *Durable) NumBuckets() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.idx.NumBuckets()
-}
+func (d *Durable) NumBuckets() int { return d.idx.NumBuckets() }
 
 // Tombstones exposes the deleted-but-unpurged entry count.
-func (d *Durable) Tombstones() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.idx.Tombstones()
-}
+func (d *Durable) Tombstones() int { return d.idx.Tombstones() }
 
 // Sync forces an fsync of the log regardless of policy, upgrading every
 // previously acknowledged op to full durability.

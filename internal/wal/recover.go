@@ -96,6 +96,11 @@ func recoverDir(dir string, dim, k int, cfg config) (*recovered, error) {
 			return nil, err
 		}
 	}
+	// Align the index's mutation sequence with the journal's numbering: the
+	// restored state corresponds to the checkpoint's LastSeq, and each
+	// replayed record advances it by one, so after replay the published seq
+	// is exactly the last applied record's — the anchor for snapshot reads.
+	idx.SetSeq(base)
 
 	// REPLAY.
 	rec := &recovered{idx: idx}

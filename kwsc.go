@@ -333,6 +333,12 @@ type (
 // the logarithmic method (Bentley–Saxe) over the static Theorem 1 structure
 // — an extension beyond the paper, which is static-only. bufferCap tunes the
 // unindexed write buffer (0 selects the default).
+//
+// The index is safe for concurrent use: mutators serialize on an internal
+// writer mutex and publish each new state with one atomic store, while
+// queries and accessors run lock-free against the last published state and
+// never wait on a writer. SnapshotNow pins a DynSnapshot for repeatable
+// reads across later mutations. See DESIGN.md §13.
 func NewDynamicORPKW(dim, k, bufferCap int, opts ...Option) (*DynamicORPKW, error) {
 	return core.NewDynamicORPKW(dim, k, bufferCap, opts...)
 }
@@ -363,6 +369,11 @@ func NewWordParallel1D(ds *Dataset) (*WordParallel1D, error) {
 type (
 	// DynamicORPKW is the insert/delete-capable ORP-KW index.
 	DynamicORPKW = core.DynamicORPKW
+	// DynSnapshot is a pinned, immutable view of a dynamic index (from
+	// DynamicORPKW.SnapshotNow or DurableORPKW.Snapshot): queries against it
+	// are repeatable no matter how much churn lands after the pin, and Seq()
+	// identifies the exact operation prefix it reflects.
+	DynSnapshot = core.DynSnapshot
 	// TwoSI is the Cohen–Porat-style 2-set-intersection structure.
 	TwoSI = twosi.Index
 	// WordParallel1D is the bitmap-based 1D range+keywords index.
