@@ -3,21 +3,23 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build test race vet cover bench bench-1m bench-save bench-compare check crash fuzz-smoke repro repro-quick examples clean
+.PHONY: all build test race vet vet-deprecated cover bench bench-1m bench-save bench-compare check crash fuzz-smoke serve-smoke bench-serve repro repro-quick examples clean
 
 all: build test
 
-# The full pre-merge gate: vet + formatting, the complete test suite, the
-# race detector over the concurrent paths (parallel builds, QueryBatch
-# workers, shared-index readers, dynamic-index writers vs lock-free readers,
-# the linearizability harness, the metrics registry) including the
-# failpoint/resilience tests, the crash-injection suite, and a short fuzz
-# smoke over the binary decoders.
+# The full pre-merge gate: vet + formatting + deprecation hygiene, the
+# complete test suite, the race detector over the concurrent paths (parallel
+# builds, QueryBatch workers, shared-index readers, dynamic-index writers vs
+# lock-free readers, the linearizability harness, the metrics registry, the
+# sharded query service) including the failpoint/resilience tests, the
+# crash-injection suite, a short fuzz smoke over the binary decoders, and an
+# end-to-end serving smoke (kwscd booted, kwsload burst, clean shutdown).
 check: vet
 	$(GO) test ./...
 	$(MAKE) race
 	$(MAKE) crash
 	$(MAKE) fuzz-smoke
+	$(MAKE) serve-smoke
 
 # Crash-injection suite under the race detector: a panic is armed at every
 # durability failpoint (mid-append, pre-fsync, mid-checkpoint, pre-rename,
@@ -45,12 +47,27 @@ test:
 	$(GO) test ./...
 
 # Static checks: go vet plus a gofmt cleanliness gate (fails listing any
-# unformatted file).
+# unformatted file) plus the deprecation gate.
 vet:
 	$(GO) vet ./...
 	@unformatted=$$($(GOFMT) -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(MAKE) vet-deprecated
+
+# Deprecation hygiene: the PR 3 `New*With(ds, k, BuildOpts{...})` wrappers
+# stay exported for compatibility (and keep their unit coverage), but no
+# example, command, or doc snippet may use them — new code takes variadic
+# Option values. The grep matches call sites of the deprecated facade
+# constructors; the facade's own definitions and the internal Build*With
+# implementations they delegate to are exempt.
+vet-deprecated:
+	@hits=$$(grep -rnE 'kwsc\.New[A-Za-z]+With\(|[^.]New(ORPKW|ORPKWHigh|RRKW|SRPKW|LinfNN|L2NN)With\(' \
+		cmd/ examples/ README.md DESIGN.md EXPERIMENTS.md 2>/dev/null); \
+	if [ -n "$$hits" ]; then \
+		echo "deprecated New*With constructors in migrated surfaces:"; \
+		echo "$$hits"; exit 1; \
 	fi
 
 # Race coverage over the concurrent paths: parallel builds, QueryBatch and
@@ -59,7 +76,7 @@ vet:
 # registry/tracer/slow-log all run under the detector.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/ ./internal/spart/ ./internal/obs/ ./internal/wal/ .
+	$(GO) test -race ./internal/core/ ./internal/spart/ ./internal/obs/ ./internal/wal/ ./internal/serve/ .
 
 cover:
 	$(GO) test -cover ./...
@@ -106,6 +123,39 @@ bench-compare:
 	$(GO) test -run '^$$' -bench '$(BENCH_REGEX)' -count=$(BENCH_COUNT) \
 		-benchmem -benchtime=$(BENCH_TIME) . | $(GO) run ./cmd/benchsave -compare $(BENCH_BASELINE)
 
+# End-to-end serving smoke: boot kwscd on a loopback port, drive a short
+# kwsload burst (which exits non-zero on zero goodput), then SIGTERM and
+# require a clean shutdown. Pure kwscd + kwsload + shell — no curl.
+SERVE_SMOKE_ADDR ?= 127.0.0.1:18091
+serve-smoke:
+	@tmp=$$(mktemp -d); status=0; \
+	$(GO) build -o $$tmp/kwscd ./cmd/kwscd || exit 1; \
+	$(GO) build -o $$tmp/kwsload ./cmd/kwsload || exit 1; \
+	$$tmp/kwscd -addr $(SERVE_SMOKE_ADDR) -mode static -shards 2 -n 10000 \
+		-max-inflight 32 -soft-inflight 8 >$$tmp/kwscd.log 2>&1 & pid=$$!; \
+	$$tmp/kwsload -addr $(SERVE_SMOKE_ADDR) -wait-ready 15s \
+		-sweep 1,4 -duration 1s || status=1; \
+	kill -TERM $$pid && wait $$pid || status=1; \
+	grep -q "clean shutdown" $$tmp/kwscd.log || { \
+		echo "kwscd did not shut down cleanly:"; cat $$tmp/kwscd.log; status=1; }; \
+	rm -rf $$tmp; exit $$status
+
+# The serving goodput curve of EXPERIMENTS.md: a larger corpus with
+# admission limits sized so the top of the sweep overloads the server, the
+# results written as the serve section of a benchfmt snapshot.
+BENCH_SERVE_OUT ?= BENCH_serve_$(shell date +%Y-%m-%d).json
+bench-serve:
+	@tmp=$$(mktemp -d); status=0; \
+	$(GO) build -o $$tmp/kwscd ./cmd/kwscd || exit 1; \
+	$(GO) build -o $$tmp/kwsload ./cmd/kwsload || exit 1; \
+	$$tmp/kwscd -addr $(SERVE_SMOKE_ADDR) -mode static -shards 2 -n 50000 \
+		-max-inflight 12 -soft-inflight 6 \
+		>$$tmp/kwscd.log 2>&1 & pid=$$!; \
+	$$tmp/kwsload -addr $(SERVE_SMOKE_ADDR) -wait-ready 30s \
+		-sweep 1,2,4,8,16,32 -duration 3s -out $(BENCH_SERVE_OUT) || status=1; \
+	kill -TERM $$pid && wait $$pid || status=1; \
+	rm -rf $$tmp; exit $$status
+
 # Regenerate every experiment of EXPERIMENTS.md (full sweeps; minutes).
 repro:
 	$(GO) run ./cmd/benchkw
@@ -119,6 +169,7 @@ examples:
 	$(GO) run ./examples/temporal
 	$(GO) run ./examples/geosearch
 	$(GO) run ./examples/inventory
+	$(GO) run ./examples/served
 
 clean:
 	$(GO) clean ./...

@@ -13,29 +13,16 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"kwsc/internal/benchfmt"
 )
 
-// Record is one benchmark measurement. BytesResident captures the custom
-// "bytes-resident" metric the flat-layout benchmarks report via
-// b.ReportMetric: the live heap the built index retains, as opposed to
-// B/op allocation churn.
-type Record struct {
-	Name          string  `json:"name"`
-	Iterations    int64   `json:"iterations"`
-	NsPerOp       float64 `json:"ns_per_op"`
-	BytesPerOp    int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp   int64   `json:"allocs_per_op,omitempty"`
-	BytesResident int64   `json:"bytes_resident,omitempty"`
-}
-
-// SnapshotFile is the on-disk schema: the benchmark records plus the metrics
-// registry the run emitted (the `# kwsc-metrics:` line TestMain prints under
-// -bench). Baselines written as a bare record array by earlier versions still
-// parse.
-type SnapshotFile struct {
-	Records []Record        `json:"records"`
-	Metrics json.RawMessage `json:"metrics,omitempty"`
-}
+// The snapshot schema lives in internal/benchfmt, shared with cmd/kwsload
+// (which contributes the serving-goodput section of a baseline).
+type (
+	Record       = benchfmt.Record
+	SnapshotFile = benchfmt.SnapshotFile
+)
 
 // metricsPrefix marks the registry snapshot line in benchmark output.
 const metricsPrefix = "# kwsc-metrics: "

@@ -27,6 +27,7 @@ var fallbacksTotal = obs.Default().Counter("kwsc_fallbacks_total")
 type Degraded struct {
 	ds   *Dataset
 	ix   rectCollector
+	k    int
 	inv  *invidx.Index  // raw baseline, exposed via Baseline()
 	pinv *invidx.Packed // block-compressed form driving the fallback path
 
@@ -41,19 +42,21 @@ type rectCollector interface {
 
 // NewDegraded builds the primary index (Theorem 1 for d <= 2, Theorem 2
 // otherwise) plus the inverted-index fallback for k-keyword queries.
-func NewDegraded(ds *Dataset, k int) (*Degraded, error) {
+// Construction options (WithFlatLayout, WithParallelism, ...) apply to the
+// primary index; the fallback is always the plain packed baseline.
+func NewDegraded(ds *Dataset, k int, opts ...Option) (*Degraded, error) {
 	var ix rectCollector
 	var err error
 	if ds.Dim() <= 2 {
-		ix, err = core.BuildORPKW(ds, k)
+		ix, err = core.BuildORPKW(ds, k, opts...)
 	} else {
-		ix, err = core.BuildORPKWHigh(ds, k)
+		ix, err = core.BuildORPKWHigh(ds, k, opts...)
 	}
 	if err != nil {
 		return nil, err
 	}
 	inv := invidx.Build(ds)
-	return &Degraded{ds: ds, ix: ix, inv: inv, pinv: inv.Pack()}, nil
+	return &Degraded{ds: ds, ix: ix, k: k, inv: inv, pinv: inv.Pack()}, nil
 }
 
 // Collect answers the query, degrading to the baseline on budget exhaustion
@@ -61,7 +64,13 @@ func NewDegraded(ds *Dataset, k int) (*Degraded, error) {
 // Ops spent on both attempts, and no error; Limit/MaxResults still cap the
 // fallback's answer (with Truncated set).
 func (d *Degraded) Collect(q *Rect, ws []Keyword, opts QueryOpts) ([]int32, QueryStats, error) {
-	ids, st, err := d.ix.CollectInto(q, ws, opts, nil)
+	return d.CollectInto(q, ws, opts, nil)
+}
+
+// CollectInto is Collect appending into buf, reusing its capacity; the
+// returned slice aliases buf only.
+func (d *Degraded) CollectInto(q *Rect, ws []Keyword, opts QueryOpts, buf []int32) ([]int32, QueryStats, error) {
+	ids, st, err := d.ix.CollectInto(q, ws, opts, buf)
 	if err == nil {
 		return ids, st, nil
 	}
@@ -84,8 +93,22 @@ func (d *Degraded) Collect(q *Rect, ws []Keyword, opts QueryOpts) ([]int32, Quer
 		fst.Reported = limit
 		fst.Truncated = true
 	}
-	return full, fst, nil
+	return append(buf[:0], full...), fst, nil
 }
+
+// Query streams the answer to report, with the same fallback semantics as
+// Collect. (The fallback materializes internally, so Query exists for
+// interface uniformity, not streaming economy.)
+func (d *Degraded) Query(q *Rect, ws []Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+	ids, st, err := d.CollectInto(q, ws, opts, nil)
+	for _, id := range ids {
+		report(id)
+	}
+	return st, err
+}
+
+// K returns the keyword arity queries must carry.
+func (d *Degraded) K() int { return d.k }
 
 // FallbackCount returns how many queries have degraded to the baseline since
 // construction (concurrency-safe).

@@ -1,0 +1,118 @@
+// Served: query a kwscd deployment over HTTP using the versioned /v1 wire
+// types. The client half of this example is exactly what any external
+// program would write against a production kwscd: build a kwsc.QueryRequest,
+// POST it to /v1/query as JSON, decode the kwsc.QueryResponse. For a
+// self-contained run it boots a small sharded server in-process first —
+// identical to `kwscd -mode dynamic -shards 2` — then talks to it purely
+// over the wire.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"kwsc"
+	"kwsc/internal/serve"
+)
+
+// Vocabulary of the toy store: each product is a (price, rating) point with
+// keyword tags.
+const (
+	tagWireless kwsc.Keyword = iota
+	tagNoiseCanceling
+	tagWaterproof
+	tagGaming
+)
+
+func main() {
+	// --- Server scaffolding (what cmd/kwscd does for you in production).
+	srv, err := serve.NewDynamic("", nil, serve.Config{Shards: 2, Dim: 2, K: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n\n", base)
+
+	// --- Client side: everything below speaks only HTTP/JSON.
+
+	// Insert a few products through POST /v1/write. Each 200 response means
+	// the owning shard's write-ahead log has acknowledged the operation.
+	products := []struct {
+		name          string
+		price, rating float64
+		tags          []kwsc.Keyword
+	}{
+		{"AirBuds Max", 180, 8.9, []kwsc.Keyword{tagWireless, tagNoiseCanceling}},
+		{"SeaSound", 90, 7.4, []kwsc.Keyword{tagWireless, tagWaterproof}},
+		{"StudioPro", 320, 9.5, []kwsc.Keyword{tagWireless, tagNoiseCanceling, tagGaming}},
+		{"Plugged", 45, 6.8, []kwsc.Keyword{tagNoiseCanceling}},
+		{"TrailTone", 140, 8.1, []kwsc.Keyword{tagWireless, tagNoiseCanceling, tagWaterproof}},
+	}
+	names := map[int64]string{}
+	for _, p := range products {
+		var wr kwsc.WriteResponse
+		post(base+kwsc.PathWrite, &kwsc.WriteRequest{
+			Op:    kwsc.OpInsert,
+			Point: []float64{p.price, p.rating},
+			Doc:   p.tags,
+		}, &wr)
+		names[wr.Handle] = p.name
+		fmt.Printf("inserted %-12s handle=%d shard=%d seq=%d\n", p.name, wr.Handle, wr.Shard, wr.Seq)
+	}
+
+	// Query: wireless noise-canceling headphones between $100 and $250 with
+	// rating at least 8 — keyword search under a structured constraint.
+	req := &kwsc.QueryRequest{
+		Rect:     &kwsc.RectWire{Lo: []float64{100, 8}, Hi: []float64{250, 10}},
+		Keywords: []kwsc.Keyword{tagWireless, tagNoiseCanceling},
+	}
+	var qr kwsc.QueryResponse
+	post(base+kwsc.PathQuery, req, &qr)
+	fmt.Printf("\nwireless+anc, price 100–250, rating ≥ 8 → %d hit(s) in %dus:\n",
+		qr.Count, qr.ElapsedUs)
+	for _, id := range qr.IDs {
+		fmt.Printf("  %s\n", names[id])
+	}
+	for _, sh := range qr.Shards {
+		fmt.Printf("  shard %d: %d reported, outcome %s\n", sh.Shard, sh.Reported, sh.Outcome)
+	}
+
+	// Delete one result and re-run: the handle routes back to its shard.
+	var del kwsc.WriteResponse
+	post(base+kwsc.PathWrite, &kwsc.WriteRequest{Op: kwsc.OpDelete, Handle: qr.IDs[0]}, &del)
+	fmt.Printf("\ndeleted %s (shard %d): %v\n", names[qr.IDs[0]], del.Shard, del.Deleted)
+	post(base+kwsc.PathQuery, req, &qr)
+	fmt.Printf("same query now → %d hit(s)\n", qr.Count)
+}
+
+// post sends one JSON request and decodes the response, failing loudly on
+// any non-200 — an ErrorResponse with a stable machine-readable code.
+func post(url string, body, into any) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er kwsc.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&er)
+		log.Fatalf("%s: %d %s: %s", url, resp.StatusCode, er.Code, er.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		log.Fatal(err)
+	}
+}

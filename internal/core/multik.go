@@ -147,10 +147,20 @@ func (m *MultiK) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, repor
 
 // Collect is Query returning a slice.
 func (m *MultiK) Collect(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts) ([]int32, QueryStats, error) {
-	var out []int32
+	return m.CollectInto(q, ws, opts, nil)
+}
+
+// CollectInto is Collect appending into buf, reusing its capacity; the
+// returned slice aliases buf only.
+func (m *MultiK) CollectInto(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, buf []int32) ([]int32, QueryStats, error) {
+	out := buf[:0]
 	st, err := m.Query(q, ws, opts, func(id int32) { out = append(out, id) })
 	return out, st, err
 }
+
+// K returns the largest supported arity (MultiK spans arities [1, KMax], so
+// its unified-interface K is the ceiling, not a fixed per-query arity).
+func (m *MultiK) K() int { return m.kMax }
 
 // Space sums the audits of all arity indexes.
 func (m *MultiK) Space() SpaceBreakdown {

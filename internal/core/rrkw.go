@@ -139,6 +139,9 @@ func (ix *RRKW) CollectInto(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, 
 // Rect returns data rectangle i.
 func (ix *RRKW) Rect(i int32) *geom.Rect { return ix.rects[i] }
 
+// K returns the keyword arity queries must carry.
+func (ix *RRKW) K() int { return ix.k }
+
 // Dataset returns the corner-point dataset of the reduction.
 func (ix *RRKW) Dataset() *dataset.Dataset { return ix.ds }
 

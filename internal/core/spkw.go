@@ -143,6 +143,26 @@ func (ix *SPKW) CollectConstraintsInto(hs []geom.Halfspace, ws []dataset.Keyword
 	return ix.fw.CollectInto(geom.NewPolyhedron(hs...), ws, opts, buf)
 }
 
+// Query, Collect, and CollectInto are the unified-interface names for the
+// constraint-conjunction query: SPKW's query shape is a halfspace list the
+// way ORPKW's is a rectangle, so the aliases let SPKW satisfy
+// Index[[]Halfspace] (see the facade's index.go) without a wrapper type.
+
+// Query is QueryConstraints under the unified Index method name.
+func (ix *SPKW) Query(hs []geom.Halfspace, ws []dataset.Keyword, opts QueryOpts, report func(int32)) (QueryStats, error) {
+	return ix.QueryConstraints(hs, ws, opts, report)
+}
+
+// Collect is CollectConstraints under the unified Index method name.
+func (ix *SPKW) Collect(hs []geom.Halfspace, ws []dataset.Keyword, opts QueryOpts) ([]int32, QueryStats, error) {
+	return ix.CollectConstraints(hs, ws, opts)
+}
+
+// CollectInto is CollectConstraintsInto under the unified Index method name.
+func (ix *SPKW) CollectInto(hs []geom.Halfspace, ws []dataset.Keyword, opts QueryOpts, buf []int32) ([]int32, QueryStats, error) {
+	return ix.CollectConstraintsInto(hs, ws, opts, buf)
+}
+
 // Flatten converts the index to the cache-conscious flat layout in place
 // (see Framework.Flatten). It must not run concurrently with queries.
 func (ix *SPKW) Flatten() { ix.fw.Flatten() }

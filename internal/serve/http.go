@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"kwsc"
+	"kwsc/internal/obs"
+)
+
+// maxBodyBytes bounds request bodies; oversized requests fail validation
+// instead of exhausting memory.
+const maxBodyBytes = 1 << 20
+
+var (
+	httpSeries  = map[string]*obs.Counter{}
+	httpSeriesM sync.Mutex
+
+	queryLatency = obs.Default().Histogram(`kwscd_query_latency_us`)
+	writeLatency = obs.Default().Histogram(`kwscd_write_latency_us`)
+)
+
+func countHTTP(endpoint string, status int) {
+	key := fmt.Sprintf("kwscd_http_requests_total{endpoint=%q,status=%q}",
+		endpoint, strconv.Itoa(status))
+	httpSeriesM.Lock()
+	c, ok := httpSeries[key]
+	if !ok {
+		c = obs.Default().Counter(key)
+		httpSeries[key] = c
+	}
+	httpSeriesM.Unlock()
+	c.Inc()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, detail string) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, kwsc.ErrorResponse{Code: code, Error: detail})
+}
+
+// decode strictly parses a JSON body: unknown fields and trailing garbage are
+// validation errors, bodies over maxBodyBytes fail rather than allocate.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, kwsc.CodeInvalid, "malformed JSON body: "+err.Error())
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, kwsc.CodeInvalid, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// errStatus maps a typed service error onto an HTTP status and error code.
+func errStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, kwsc.ErrInvalidQuery):
+		return http.StatusBadRequest, kwsc.CodeInvalid
+	case errors.Is(err, ErrReadOnly):
+		return http.StatusBadRequest, kwsc.CodeUnsupported
+	default:
+		return http.StatusInternalServerError, kwsc.CodeInternal
+	}
+}
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /v1/query   — scatter-gather query (QueryRequest -> QueryResponse)
+//	POST /v1/write   — routed insert/delete (WriteRequest -> WriteResponse)
+//	GET  /healthz    — liveness ("ok")
+//	GET  /metrics    — Prometheus text exposition of internal/obs
+//	GET  /debug/stats — JSON deployment and per-shard state
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+kwsc.PathQuery, s.handleQuery)
+	mux.HandleFunc("POST "+kwsc.PathWrite, s.handleWrite)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		obs.Default().Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /debug/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	status := http.StatusOK
+	defer func() {
+		countHTTP("query", status)
+		queryLatency.Observe(time.Since(start).Microseconds())
+	}()
+
+	var req kwsc.QueryRequest
+	if !decode(w, r, &req) {
+		status = http.StatusBadRequest
+		return
+	}
+	decision, release := s.adm.acquire(req.Client)
+	switch decision {
+	case ShedQuota:
+		status = http.StatusTooManyRequests
+		writeError(w, status, kwsc.CodeQuota, "client request quota exhausted")
+		return
+	case ShedOverload:
+		status = http.StatusTooManyRequests
+		writeError(w, status, kwsc.CodeOverload, "server over capacity")
+		return
+	}
+	defer release()
+
+	resp, err := s.Query(&req, decision == AdmitDegraded)
+	if err != nil {
+		var code string
+		status, code = errStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	status := http.StatusOK
+	defer func() {
+		countHTTP("write", status)
+		writeLatency.Observe(time.Since(start).Microseconds())
+	}()
+
+	var req kwsc.WriteRequest
+	if !decode(w, r, &req) {
+		status = http.StatusBadRequest
+		return
+	}
+	decision, release := s.adm.acquire(req.Client)
+	if decision.Shed() {
+		status = http.StatusTooManyRequests
+		code := kwsc.CodeOverload
+		if decision == ShedQuota {
+			code = kwsc.CodeQuota
+		}
+		writeError(w, status, code, "write shed: "+decision.String())
+		return
+	}
+	defer release()
+
+	resp, err := s.Write(&req)
+	if err != nil {
+		var code string
+		status, code = errStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	shards := make([]map[string]any, len(s.shards))
+	for i, sh := range s.shards {
+		shards[i] = sh.describe()
+	}
+	mode := "static"
+	if s.dynamic {
+		mode = "dynamic"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mode":       mode,
+		"partition":  s.part.mode.String(),
+		"shards":     len(s.shards),
+		"dim":        s.cfg.Dim,
+		"k":          s.cfg.K,
+		"live":       s.Live(),
+		"inflight":   s.adm.Inflight(),
+		"uptime_sec": int64(time.Since(s.start).Seconds()),
+		"shard":      shards,
+	})
+}

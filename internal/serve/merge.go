@@ -1,0 +1,58 @@
+package serve
+
+// mergeSorted merges per-shard ascending id lists into one ascending list,
+// keeping at most limit ids (0 = all). Shards own disjoint id spaces, so
+// there is nothing to de-duplicate; the merge is a deterministic function
+// of its inputs — the same per-shard partial results always produce the
+// same response, no matter which shard answered first.
+//
+// Prefix-correctness composes: each input is a subset of its shard's true
+// answer, the union of subsets is a subset of the union, and the limit cut
+// keeps the limit smallest ids of that union — still a subset of the true
+// answer.
+func mergeSorted(lists [][]int64, limit int) []int64 {
+	total := 0
+	nonEmpty := 0
+	for _, l := range lists {
+		total += len(l)
+		if len(l) > 0 {
+			nonEmpty++
+		}
+	}
+	if limit > 0 && limit < total {
+		total = limit
+	}
+	out := make([]int64, 0, total)
+	if nonEmpty <= 1 {
+		for _, l := range lists {
+			out = append(out, l...)
+		}
+		if limit > 0 && len(out) > limit {
+			out = out[:limit]
+		}
+		return out
+	}
+	heads := make([][]int64, 0, nonEmpty)
+	for _, l := range lists {
+		if len(l) > 0 {
+			heads = append(heads, l)
+		}
+	}
+	for len(heads) > 0 {
+		min := 0
+		for i := 1; i < len(heads); i++ {
+			if heads[i][0] < heads[min][0] {
+				min = i
+			}
+		}
+		out = append(out, heads[min][0])
+		if limit > 0 && len(out) >= limit {
+			return out
+		}
+		if heads[min] = heads[min][1:]; len(heads[min]) == 0 {
+			heads[min] = heads[len(heads)-1]
+			heads = heads[:len(heads)-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestMergeSortedBasic(t *testing.T) {
+	cases := []struct {
+		name  string
+		lists [][]int64
+		limit int
+		want  []int64
+	}{
+		{"empty", nil, 0, []int64{}},
+		{"all-empty", [][]int64{{}, nil, {}}, 0, []int64{}},
+		{"single", [][]int64{{1, 3, 5}}, 0, []int64{1, 3, 5}},
+		{"single-limit", [][]int64{{}, {1, 3, 5}}, 2, []int64{1, 3}},
+		{"two", [][]int64{{1, 4}, {2, 3}}, 0, []int64{1, 2, 3, 4}},
+		{"three", [][]int64{{2, 9}, {1, 8}, {5}}, 0, []int64{1, 2, 5, 8, 9}},
+		{"limit-cuts", [][]int64{{2, 9}, {1, 8}, {5}}, 3, []int64{1, 2, 5}},
+		{"limit-over", [][]int64{{2}, {1}}, 10, []int64{1, 2}},
+	}
+	for _, tc := range cases {
+		got := mergeSorted(tc.lists, tc.limit)
+		if got == nil {
+			got = []int64{}
+		}
+		if !slices.Equal(got, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestMergeSortedRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(6)
+		lists := make([][]int64, n)
+		var all []int64
+		used := map[int64]bool{}
+		for i := range lists {
+			m := rng.Intn(8)
+			for j := 0; j < m; j++ {
+				// Disjoint ids, matching the shard invariant.
+				v := int64(rng.Intn(1000))
+				if used[v] {
+					continue
+				}
+				used[v] = true
+				lists[i] = append(lists[i], v)
+				all = append(all, v)
+			}
+			slices.Sort(lists[i])
+		}
+		slices.Sort(all)
+		limit := rng.Intn(len(all) + 2)
+		want := all
+		if limit > 0 && limit < len(want) {
+			want = want[:limit]
+		}
+		got := mergeSorted(lists, limit)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("iter %d: merge(%v, limit=%d) = %v, want %v", iter, lists, limit, got, want)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package serve is the sharded query service behind cmd/kwscd: it
+// partitions a corpus across N shards (content-hash or rank-space range
+// partition), fans queries out scatter-gather with one shared wall-clock
+// deadline, merges the per-shard prefix-correct partial results
+// deterministically, and routes writes to the owning shard, acknowledging
+// after that shard's WAL ack. An admission controller sits in front:
+// per-client token buckets, a global in-flight window with a degraded band,
+// and 429 load shedding. Everything is instrumented through internal/obs
+// and exported at /metrics. See DESIGN.md §14.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"kwsc"
+	"kwsc/internal/obs"
+)
+
+// Config parameterizes a Server. The zero value serves one shard with no
+// admission limits.
+type Config struct {
+	// Shards is the partition count (<= 0 means 1).
+	Shards int
+	// Partition selects hash or range partitioning.
+	Partition PartitionMode
+	// Dim and K fix the corpus dimensionality and query keyword arity.
+	Dim, K int
+	// Admission bounds the accepted load.
+	Admission AdmissionConfig
+	// DefaultTimeout bounds queries that carry no timeout_ms of their own
+	// (0 means 2s; negative disables the default).
+	DefaultTimeout time.Duration
+	// DegradedNodeBudget is the per-shard node budget forced onto queries
+	// admitted in the degraded band (0 means 4096). Static shards hitting
+	// it fall back to their inverted-index baseline; dynamic shards return
+	// the prefix collected so far.
+	DegradedNodeBudget int64
+	// FlatLayout builds static shards in the cache-conscious flat layout.
+	FlatLayout bool
+	// BuildOptions are forwarded to every shard index construction.
+	BuildOptions []kwsc.Option
+	// DurableOptions are forwarded to OpenDurable for durable shards.
+	DurableOptions []kwsc.DurableOption
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Dim <= 0 {
+		c.Dim = 2
+	}
+	if c.K <= 0 {
+		c.K = 2
+	}
+	switch {
+	case c.DefaultTimeout == 0:
+		c.DefaultTimeout = 2 * time.Second
+	case c.DefaultTimeout < 0:
+		c.DefaultTimeout = 0
+	}
+	if c.DegradedNodeBudget <= 0 {
+		c.DegradedNodeBudget = 4096
+	}
+	return c
+}
+
+// Server is the sharded query service. Construct with NewStatic or
+// NewDynamic, mount Handler on an http.Server, and Close on shutdown.
+type Server struct {
+	cfg     Config
+	dynamic bool
+	shards  []shard
+	part    *partitioner
+	adm     *admission
+	start   time.Time
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewStatic partitions objs and builds one read-only shard per partition:
+// a kwsc.Degraded (primary index + inverted-index fallback) behind the
+// unified Index surface, in the flat layout when cfg.FlatLayout is set.
+// Global ids are positions in objs.
+func NewStatic(objs []kwsc.Object, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("serve: static corpus needs at least one object")
+	}
+	cfg.Dim = len(objs[0].Point)
+	part := newPartitioner(cfg.Partition, cfg.Shards, objs)
+	groups, globals := part.split(objs)
+	opts := append([]kwsc.Option(nil), cfg.BuildOptions...)
+	if cfg.FlatLayout {
+		opts = append(opts, kwsc.WithFlatLayout())
+	}
+	shards := make([]shard, cfg.Shards)
+	for i := range shards {
+		if len(groups[i]) == 0 {
+			shards[i] = &staticShard{}
+			continue
+		}
+		ds, err := kwsc.NewDataset(groups[i])
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d dataset: %w", i, err)
+		}
+		deg, err := kwsc.NewDegraded(ds, cfg.K, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d index: %w", i, err)
+		}
+		shards[i] = &staticShard{ix: deg, ds: ds, globals: globals[i]}
+	}
+	return newServer(cfg, false, shards, part), nil
+}
+
+// NewDynamic builds one mutable shard per partition. With dir non-empty
+// each shard is a DurableORPKW rooted at dir/shard-NNN (created or
+// recovered); with dir empty the shards are in-memory DynamicORPKW
+// instances. seed objects are bulk-loaded through normal routed inserts —
+// but only when every shard starts empty, so reopening a durable deployment
+// never double-loads. Global ids are write handles encoding the owning
+// shard.
+func NewDynamic(dir string, seed []kwsc.Object, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	part := newPartitioner(cfg.Partition, cfg.Shards, seed)
+	shards := make([]shard, cfg.Shards)
+	fresh := true
+	for i := range shards {
+		var ix kwsc.DynamicIndex
+		if dir == "" {
+			d, err := kwsc.NewDynamicORPKW(cfg.Dim, cfg.K, 0, cfg.BuildOptions...)
+			if err != nil {
+				return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+			}
+			ix = d
+		} else {
+			sub := filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+			if err := os.MkdirAll(sub, 0o755); err != nil {
+				return nil, fmt.Errorf("serve: shard %d dir: %w", i, err)
+			}
+			opts := append([]kwsc.DurableOption(nil), cfg.DurableOptions...)
+			if len(cfg.BuildOptions) > 0 {
+				opts = append(opts, kwsc.WithDurableBuild(cfg.BuildOptions...))
+			}
+			d, err := kwsc.OpenDurable(sub, cfg.Dim, cfg.K, opts...)
+			if err != nil {
+				return nil, fmt.Errorf("serve: shard %d open: %w", i, err)
+			}
+			if d.LastSeq() > 0 {
+				fresh = false
+			}
+			ix = d
+		}
+		shards[i] = &dynamicShard{id: i, n: cfg.Shards, ix: ix, now: time.Now}
+	}
+	s := newServer(cfg, true, shards, part)
+	if fresh && len(seed) > 0 {
+		if err := s.Load(seed); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func newServer(cfg Config, dynamic bool, shards []shard, part *partitioner) *Server {
+	return &Server{
+		cfg: cfg, dynamic: dynamic, shards: shards, part: part,
+		adm: newAdmission(cfg.Admission), start: time.Now(),
+	}
+}
+
+// Load bulk-inserts objects through normal write routing (dynamic corpora
+// only), acknowledging each through the owning shard's WAL.
+func (s *Server) Load(objs []kwsc.Object) error {
+	if !s.dynamic {
+		return ErrReadOnly
+	}
+	for i, obj := range objs {
+		sh := s.shards[s.part.route(obj)]
+		if _, _, err := sh.insert(obj); err != nil {
+			return fmt.Errorf("serve: loading object %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Dynamic reports whether the corpus accepts writes.
+func (s *Server) Dynamic() bool { return s.dynamic }
+
+// K returns the query keyword arity; Dim the corpus dimensionality;
+// NumShards the partition count.
+func (s *Server) K() int         { return s.cfg.K }
+func (s *Server) Dim() int       { return s.cfg.Dim }
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// Live returns the number of live objects across all shards.
+func (s *Server) Live() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.live()
+	}
+	return total
+}
+
+// Close releases every shard (closing durable WALs). Idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		for _, sh := range s.shards {
+			if err := sh.close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
+	return s.closeErr
+}
+
+var (
+	shardOutcomes = map[string]*obs.Counter{}
+	shardOutcomeM sync.Mutex
+)
+
+func countShardOutcome(outcome string) {
+	shardOutcomeM.Lock()
+	c, ok := shardOutcomes[outcome]
+	if !ok {
+		c = obs.Default().Counter(fmt.Sprintf("kwscd_shard_outcomes_total{outcome=%q}", outcome))
+		shardOutcomes[outcome] = c
+	}
+	shardOutcomeM.Unlock()
+	c.Inc()
+}
+
+// shardReply is one gathered scatter leg.
+type shardReply struct {
+	ids []int64
+	st  kwsc.QueryStats
+	seq uint64
+	err error
+}
+
+// scatter fans the query out to every shard concurrently and gathers all
+// replies. All shards share the caller's absolute deadline (resolved once),
+// so a straggler cannot extend the query's wall-clock budget.
+func (s *Server) scatter(q *kwsc.Rect, exact kwsc.Region, ws []kwsc.Keyword, opts kwsc.QueryOpts, staleness time.Duration) []shardReply {
+	replies := make([]shardReply, len(s.shards))
+	if len(s.shards) == 1 {
+		ids, st, seq, err := s.shards[0].collect(q, exact, ws, opts, staleness)
+		replies[0] = shardReply{ids, st, seq, err}
+		return replies
+	}
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh shard) {
+			defer wg.Done()
+			ids, st, seq, err := sh.collect(q, exact, ws, opts, staleness)
+			replies[i] = shardReply{ids, st, seq, err}
+		}(i, sh)
+	}
+	wg.Wait()
+	return replies
+}
+
+// outcomeOf classifies a scatter-leg error the way obs outcomes do.
+func outcomeOf(err error) string {
+	var pe *kwsc.PanicError
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, kwsc.ErrDeadline):
+		return "deadline"
+	case errors.Is(err, kwsc.ErrBudget):
+		return "budget"
+	case errors.Is(err, kwsc.ErrCanceled):
+		return "canceled"
+	case errors.As(err, &pe):
+		return "panic"
+	default:
+		return "error"
+	}
+}
+
+// gather merges the scatter replies into one response. Policy-stopped
+// shards contribute their prefix (the union stays prefix-correct);
+// panicked or failed shards contribute nothing and mark the result
+// truncated. Merging is deterministic: ascending global ids, limit cut
+// applied to the merged sequence.
+func (s *Server) gather(replies []shardReply, limit int) (*kwsc.QueryResponse, error) {
+	resp := &kwsc.QueryResponse{Shards: make([]kwsc.ShardOutcome, len(replies))}
+	lists := make([][]int64, len(replies))
+	total := 0
+	for i, rep := range replies {
+		out := outcomeOf(rep.err)
+		if out == "error" && errors.Is(rep.err, kwsc.ErrInvalidQuery) {
+			return nil, rep.err
+		}
+		countShardOutcome(out)
+		if out == "panic" || out == "error" {
+			rep.ids = nil
+			resp.Truncated = true
+		}
+		if rep.err != nil || rep.st.Truncated {
+			resp.Truncated = true
+		}
+		if rep.st.Fallback {
+			resp.Degraded = true
+		}
+		lists[i] = rep.ids
+		total += len(rep.ids)
+		resp.Shards[i] = kwsc.ShardOutcome{
+			Shard: i, Reported: len(rep.ids), Ops: rep.st.Ops,
+			Seq: rep.seq, Outcome: out, FellBack: rep.st.Fallback,
+		}
+	}
+	resp.IDs = mergeSorted(lists, limit)
+	resp.Count = len(resp.IDs)
+	if limit > 0 && total > limit {
+		resp.Truncated = true
+	}
+	if resp.IDs == nil {
+		resp.IDs = []int64{}
+	}
+	return resp, nil
+}
+
+// Query answers one query request in-process (the HTTP handler, tests, and
+// embedders share this path). Admission control is the caller's concern;
+// degraded selects the degraded execution mode.
+func (s *Server) Query(req *kwsc.QueryRequest, degraded bool) (*kwsc.QueryResponse, error) {
+	if err := req.Validate(s.cfg.Dim, s.cfg.K); err != nil {
+		return nil, err
+	}
+	opts := req.Opts(s.cfg.DefaultTimeout)
+	if degraded {
+		if opts.Policy.NodeBudget == 0 || opts.Policy.NodeBudget > s.cfg.DegradedNodeBudget {
+			opts.Policy.NodeBudget = s.cfg.DegradedNodeBudget
+		}
+	}
+	// Resolve the relative timeout to one absolute deadline here so every
+	// shard races the same clock instead of restarting the budget.
+	if opts.Policy.Timeout > 0 && opts.Policy.Deadline.IsZero() {
+		opts.Policy.Deadline = time.Now().Add(opts.Policy.Timeout)
+		opts.Policy.Timeout = 0
+	}
+	start := time.Now()
+	replies := s.scatter(req.BoundingRect(s.cfg.Dim), req.ExactRegion(), req.Keywords, opts,
+		time.Duration(req.MaxStalenessMs)*time.Millisecond)
+	resp, err := s.gather(replies, req.Limit)
+	if err != nil {
+		return nil, err
+	}
+	resp.Degraded = resp.Degraded || degraded
+	resp.ElapsedUs = time.Since(start).Microseconds()
+	return resp, nil
+}
+
+// Write applies one write request in-process. The returned response is
+// acknowledged by the owning shard's WAL (per its fsync policy) before this
+// returns.
+func (s *Server) Write(req *kwsc.WriteRequest) (*kwsc.WriteResponse, error) {
+	if !s.dynamic {
+		return nil, ErrReadOnly
+	}
+	if err := req.Validate(s.cfg.Dim); err != nil {
+		return nil, err
+	}
+	switch req.Op {
+	case kwsc.OpInsert:
+		obj := req.Object()
+		si := s.part.route(obj)
+		handle, seq, err := s.shards[si].insert(obj)
+		if err != nil {
+			return nil, err
+		}
+		return &kwsc.WriteResponse{Handle: handle, Seq: seq, Shard: si}, nil
+	default: // OpDelete; Validate rejected everything else
+		local, si := splitHandle(req.Handle, len(s.shards))
+		if si < 0 || si >= len(s.shards) {
+			return nil, fmt.Errorf("%w: handle %d maps outside the shard set", kwsc.ErrInvalidQuery, req.Handle)
+		}
+		ok, seq, err := s.shards[si].remove(local)
+		if err != nil {
+			return nil, err
+		}
+		return &kwsc.WriteResponse{Deleted: ok, Seq: seq, Shard: si}, nil
+	}
+}

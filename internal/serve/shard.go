@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"kwsc"
+)
+
+// ErrReadOnly reports a write against a static corpus.
+var ErrReadOnly = errors.New("serve: static corpus is read-only")
+
+// shard is one partition of the served dataset. Implementations must be
+// safe for concurrent use; collect must return ids ascending.
+type shard interface {
+	// collect answers one scatter leg: objects in the bounding rect q
+	// (post-filtered by exact when non-nil) carrying all keywords, as
+	// ascending global ids. seq identifies the operation prefix a dynamic
+	// shard answered at (0 for static). A policy stop returns the
+	// prefix-correct partial ids alongside the typed error.
+	collect(q *kwsc.Rect, exact kwsc.Region, ws []kwsc.Keyword, opts kwsc.QueryOpts, staleness time.Duration) (ids []int64, st kwsc.QueryStats, seq uint64, err error)
+	insert(obj kwsc.Object) (global int64, seq uint64, err error)
+	remove(local int64) (ok bool, seq uint64, err error)
+	live() int
+	describe() map[string]any
+	close() error
+}
+
+// staticShard serves a read-only partition through the unified Index
+// surface — any rectangle-capable family works; the server builds a
+// *kwsc.Degraded so overload-mode node budgets degrade to the baseline
+// instead of failing.
+type staticShard struct {
+	ix      kwsc.Index[*kwsc.Rect] // nil for an empty partition
+	ds      *kwsc.Dataset
+	globals []int64 // local id -> global id
+}
+
+func (s *staticShard) collect(q *kwsc.Rect, exact kwsc.Region, ws []kwsc.Keyword, opts kwsc.QueryOpts, _ time.Duration) ([]int64, kwsc.QueryStats, uint64, error) {
+	if s.ix == nil {
+		return nil, kwsc.QueryStats{}, 0, nil
+	}
+	local, st, err := s.ix.Collect(q, ws, opts)
+	ids := make([]int64, 0, len(local))
+	for _, id := range local {
+		if exact != nil && !exact.ContainsPoint(s.ds.Point(id)) {
+			continue
+		}
+		ids = append(ids, s.globals[id])
+	}
+	slices.Sort(ids)
+	return ids, st, 0, err
+}
+
+func (s *staticShard) insert(kwsc.Object) (int64, uint64, error) { return 0, 0, ErrReadOnly }
+func (s *staticShard) remove(int64) (bool, uint64, error)        { return false, 0, ErrReadOnly }
+
+func (s *staticShard) live() int {
+	if s.ds == nil {
+		return 0
+	}
+	return s.ds.Len()
+}
+
+func (s *staticShard) describe() map[string]any {
+	return map[string]any{"type": "static", "live": s.live()}
+}
+
+func (s *staticShard) close() error { return nil }
+
+// Capability probes reconciling the two dynamic backends' accessor names
+// (DurableORPKW: Snapshot/LastSeq; DynamicORPKW: SnapshotNow/Seq).
+type (
+	snapshotter    interface{ Snapshot() *kwsc.DynSnapshot }
+	snapshotNower  interface{ SnapshotNow() *kwsc.DynSnapshot }
+	lastSeqer      interface{ LastSeq() uint64 }
+	seqer          interface{ Seq() uint64 }
+	bucketCounter  interface{ NumBuckets() int }
+	tombstoneCount interface{ Tombstones() int }
+	closer         interface{ Close() error }
+)
+
+// dynamicShard serves one partition from a mutable index (durable or
+// in-memory) through the unified DynamicIndex surface. Global handles
+// encode the shard id (see globalHandle) so deletes route statelessly.
+type dynamicShard struct {
+	id, n int
+	ix    kwsc.DynamicIndex
+	now   func() time.Time
+
+	// Bounded-staleness read cache: one pinned MVCC snapshot, refreshed
+	// when a request's staleness bound is tighter than its age.
+	mu     sync.Mutex
+	snap   *kwsc.DynSnapshot
+	snapAt time.Time
+}
+
+func (s *dynamicShard) pin() *kwsc.DynSnapshot {
+	switch v := s.ix.(type) {
+	case snapshotter:
+		return v.Snapshot()
+	case snapshotNower:
+		return v.SnapshotNow()
+	}
+	return nil
+}
+
+func (s *dynamicShard) seq() uint64 {
+	switch v := s.ix.(type) {
+	case lastSeqer:
+		return v.LastSeq()
+	case seqer:
+		return v.Seq()
+	}
+	return 0
+}
+
+// view returns the read view for a query: a cached snapshot no older than
+// staleness when one is allowed and available, else a fresh pin.
+func (s *dynamicShard) view(staleness time.Duration) *kwsc.DynSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	if staleness > 0 && s.snap != nil && now.Sub(s.snapAt) <= staleness {
+		return s.snap
+	}
+	if snap := s.pin(); snap != nil {
+		s.snap, s.snapAt = snap, now
+		return snap
+	}
+	return nil
+}
+
+func (s *dynamicShard) collect(q *kwsc.Rect, exact kwsc.Region, ws []kwsc.Keyword, opts kwsc.QueryOpts, staleness time.Duration) ([]int64, kwsc.QueryStats, uint64, error) {
+	var ids []int64
+	report := func(h int64, obj *kwsc.Object) {
+		if exact != nil && !exact.ContainsPoint(obj.Point) {
+			return
+		}
+		ids = append(ids, globalHandle(h, s.id, s.n))
+	}
+	var st kwsc.QueryStats
+	var err error
+	var seq uint64
+	if snap := s.view(staleness); snap != nil {
+		st, err = snap.QueryWith(q, ws, opts, report)
+		seq = snap.Seq()
+	} else {
+		st, err = s.ix.QueryWith(q, ws, opts, report)
+		seq = s.seq()
+	}
+	slices.Sort(ids)
+	return ids, st, seq, err
+}
+
+func (s *dynamicShard) insert(obj kwsc.Object) (int64, uint64, error) {
+	local, err := s.ix.Insert(obj)
+	if err != nil {
+		return 0, 0, err
+	}
+	return globalHandle(local, s.id, s.n), s.seq(), nil
+}
+
+func (s *dynamicShard) remove(local int64) (bool, uint64, error) {
+	ok, err := s.ix.Delete(local)
+	if err != nil {
+		return false, 0, err
+	}
+	return ok, s.seq(), nil
+}
+
+func (s *dynamicShard) live() int { return s.ix.Len() }
+
+func (s *dynamicShard) describe() map[string]any {
+	d := map[string]any{"type": "dynamic", "live": s.live(), "seq": s.seq()}
+	if v, ok := s.ix.(bucketCounter); ok {
+		d["buckets"] = v.NumBuckets()
+	}
+	if v, ok := s.ix.(tombstoneCount); ok {
+		d["tombstones"] = v.Tombstones()
+	}
+	return d
+}
+
+func (s *dynamicShard) close() error {
+	if v, ok := s.ix.(closer); ok {
+		if err := v.Close(); err != nil {
+			return fmt.Errorf("serve: closing shard %d: %w", s.id, err)
+		}
+	}
+	return nil
+}
