@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build test race vet vet-deprecated cover bench bench-1m bench-save bench-compare check crash fuzz-smoke serve-smoke bench-serve repro repro-quick examples clean
+.PHONY: all build test race vet vet-deprecated vet-pager cover bench bench-1m bench-save bench-compare bench-coldstart check crash fuzz-smoke serve-smoke bench-serve repro repro-quick examples clean
 
 all: build test
 
@@ -36,6 +36,7 @@ FUZZ_TIME ?= 5s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadDataset$$' -fuzztime $(FUZZ_TIME) ./internal/codec/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSnapshot$$' -fuzztime $(FUZZ_TIME) ./internal/codec/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadPagedSnapshot$$' -fuzztime $(FUZZ_TIME) ./internal/codec/
 	$(GO) test -run '^$$' -fuzz '^FuzzReplayWAL$$' -fuzztime $(FUZZ_TIME) ./internal/wal/
 	$(GO) test -run '^$$' -fuzz '^FuzzPackDeltas$$' -fuzztime $(FUZZ_TIME) ./internal/bitpack/
 
@@ -69,6 +70,24 @@ vet-deprecated:
 		echo "deprecated New*With constructors in migrated surfaces:"; \
 		echo "$$hits"; exit 1; \
 	fi
+	$(MAKE) vet-pager
+
+# Pager hygiene: checkpoint files are refcounted through internal/pager so
+# that pruning can retire a file that a live index is still mapping. Any
+# code that reads or unlinks a checkpoint path directly (os.ReadFile /
+# os.Open / os.Remove on a checkpointPath) bypasses that protocol and can
+# yank bytes out from under a serving index — the grep keeps such call
+# sites from creeping back in. WAL segment files are exempt: they are
+# replayed once at recovery, never mapped.
+vet-pager:
+	@hits=$$(grep -rnE 'os\.(ReadFile|Open|Remove|RemoveAll)\( *checkpointPath' \
+		--include='*.go' internal/ cmd/ . 2>/dev/null; \
+		grep -rnE 'os\.(ReadFile|Open)\([^)]*\.ckpt' --include='*.go' \
+		internal/ cmd/ examples/ 2>/dev/null | grep -v '_test.go'); \
+	if [ -n "$$hits" ]; then \
+		echo "checkpoint bytes bypassing internal/pager:"; \
+		echo "$$hits"; exit 1; \
+	fi
 
 # Race coverage over the concurrent paths: parallel builds, QueryBatch and
 # shared-index Collect calls, dynamic-index churn against lock-free readers
@@ -76,7 +95,7 @@ vet-deprecated:
 # registry/tracer/slow-log all run under the detector.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/ ./internal/spart/ ./internal/obs/ ./internal/wal/ ./internal/serve/ .
+	$(GO) test -race ./internal/core/ ./internal/spart/ ./internal/obs/ ./internal/wal/ ./internal/serve/ ./internal/pager/ ./internal/flatio/ .
 
 cover:
 	$(GO) test -cover ./...
@@ -118,10 +137,21 @@ bench-save:
 # on identical binaries even at min-of-3) or any allocs/op increase beyond
 # 0.1% (the zero-alloc query paths are a hard property, not a number to
 # drift — including with the metrics registry enabled).
-BENCH_BASELINE ?= BENCH_2026-08-06.json
+BENCH_BASELINE ?= BENCH_2026-08-08.json
 bench-compare:
 	$(GO) test -run '^$$' -bench '$(BENCH_REGEX)' -count=$(BENCH_COUNT) \
 		-benchmem -benchtime=$(BENCH_TIME) . | $(GO) run ./cmd/benchsave -compare $(BENCH_BASELINE)
+
+# The out-of-core cold-start series (DESIGN.md §15, EXPERIMENTS.md):
+# process start to first query answer for a saved paged flat image (mmap
+# and pread), the rebuild-from-scratch baseline, and the durable directory
+# in both recovery modes — plus the capped-pool bytes-resident gate. Each
+# timed iteration is a full open/probe/close, so ns/op IS the cold start;
+# min-of-3 as in bench-save. KWSC_BENCH_1M=1 adds the N=1M mmap tier.
+BENCH_COLDSTART_REGEX = ^(BenchmarkColdStartPagedORPKW|BenchmarkColdStartRebuildORPKW|BenchmarkColdStartDurable|BenchmarkPagedResidentCapped)
+bench-coldstart:
+	$(GO) test -run '^$$' -bench '$(BENCH_COLDSTART_REGEX)' -count=$(BENCH_COUNT) \
+		-benchmem -benchtime=5x -timeout 60m . | $(GO) run ./cmd/benchsave -out BENCH_coldstart_$(shell date +%Y-%m-%d).json
 
 # End-to-end serving smoke: boot kwscd on a loopback port, drive a short
 # kwsload burst (which exits non-zero on zero goodput), then SIGTERM and

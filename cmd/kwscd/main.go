@@ -59,6 +59,10 @@ func main() {
 		timeout = flag.Duration("timeout", 2*time.Second, "default query timeout when the request carries none")
 		budget  = flag.Int64("degraded-budget", 4096, "per-shard node budget forced onto degraded-band queries")
 		fsync   = flag.String("fsync", "interval", "durable WAL fsync policy: everyop, interval, or none")
+
+		paged    = flag.Bool("paged-recovery", false, "dynamic mode: serve checkpoints through the pager (cold start = map + WAL tail)")
+		noMmap   = flag.Bool("paged-pread", false, "with -paged-recovery: use pread + buffer pool instead of mmap")
+		capPages = flag.Int("paged-cap", 0, "with -paged-pread: buffer-pool capacity in pages per shard (0 = default)")
 	)
 	flag.Parse()
 
@@ -90,6 +94,12 @@ func main() {
 		cfg.DurableOptions = append(cfg.DurableOptions, kwsc.WithFsyncPolicy(kwsc.FsyncNone))
 	default:
 		log.Fatalf("kwscd: unknown -fsync %q (want everyop, interval, or none)", *fsync)
+	}
+	if *paged {
+		cfg.DurableOptions = append(cfg.DurableOptions, kwsc.WithPagedRecovery(kwsc.PagedBaseOptions{
+			NoMmap:   *noMmap,
+			CapPages: *capPages,
+		}))
 	}
 
 	objs := genCorpus(*n, *dim, *vocab, *doclen, *seed)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	kwsearch [-n objects] [-seed n] [-durable dir]
+//	kwsearch [-n objects] [-seed n] [-durable dir] [-paged file] [-paged-pread] [-paged-recovery]
 //
 // Commands (keywords are integer ids; 'help' lists everything):
 //
@@ -50,6 +50,9 @@ var (
 	flagN       = flag.Int("n", 20000, "number of objects in the generated catalog")
 	flagSeed    = flag.Int64("seed", 1, "generator seed")
 	flagDurable = flag.String("durable", "", "directory of a durable dynamic index (created or recovered); enables insert/del/drange/checkpoint/snapshot")
+	flagPaged   = flag.String("paged", "", "file path: save the ORP-KW index there as a paged container and serve range queries from the mapping (out-of-core mode); 'pages' shows buffer-pool stats")
+	flagPread   = flag.Bool("paged-pread", false, "with -paged: pread-backed access instead of mmap")
+	flagPagedRe = flag.Bool("paged-recovery", false, "with -durable: serve the newest checkpoint in place (map + WAL-tail replay) instead of decoding it")
 )
 
 // session holds the indexes plus the interactive execution policy.
@@ -74,8 +77,20 @@ func main() {
 	fmt.Printf("building indexes (N=%d, W=%d)...\n", ds.N(), ds.W())
 	s := &session{ds: ds}
 	var err error
-	s.orp, err = kwsc.NewORPKW(ds, 2)
+	s.orp, err = kwsc.NewORPKW(ds, 2, kwsc.WithFlatLayout())
 	fatal(err)
+	if *flagPaged != "" {
+		fatal(kwsc.SavePagedORPKW(*flagPaged, s.orp))
+		paged, h, err := kwsc.OpenPagedORPKW(*flagPaged, kwsc.PagedFileOptions{NoMmap: *flagPread})
+		fatal(err)
+		defer h.Close()
+		s.orp = paged // range queries now read through the page cache
+		mode := "mmap"
+		if !h.Mapped() {
+			mode = "pread"
+		}
+		fmt.Printf("serving ORP-KW out of core from %q (%s)\n", *flagPaged, mode)
+	}
 	s.nn, err = kwsc.NewLinfNN(ds, 2)
 	fatal(err)
 	s.srp, err = kwsc.NewSRPKW(ds, 2)
@@ -85,7 +100,11 @@ func main() {
 	s.ksi, err = kwsc.NewKSIFromDataset(ds, 2)
 	fatal(err)
 	if *flagDurable != "" {
-		s.dur, err = kwsc.OpenDurable(*flagDurable, 2, 2)
+		var dopts []kwsc.DurableOption
+		if *flagPagedRe {
+			dopts = append(dopts, kwsc.WithPagedRecovery(kwsc.PagedBaseOptions{}))
+		}
+		s.dur, err = kwsc.OpenDurable(*flagDurable, 2, 2, dopts...)
 		fatal(err)
 		defer s.dur.Close()
 		fmt.Printf("durable index %q recovered: %d live objects, %d logged ops\n",
@@ -122,7 +141,7 @@ func (s *session) dispatch(fields []string) (err error) {
 	switch fields[0] {
 	case "help":
 		fmt.Println("range x1 x2 y1 y2 w1 w2 | near x y t w1 w2 | ball x y r w1 w2")
-		fmt.Println("line a b c w1 w2 | isect w1 w2 | budget nodes | stats | metrics | slow | quit")
+		fmt.Println("line a b c w1 w2 | isect w1 w2 | budget nodes | stats | metrics | pages | slow | quit")
 		if s.dur != nil {
 			fmt.Println("insert x y w1 w2 | del handle | drange x1 x2 y1 y2 w1 w2 | checkpoint")
 			fmt.Println("snapshot [x1 x2 y1 y2 w1 w2]  (bare: pin current state; with args: query the pin)")
@@ -143,6 +162,8 @@ func (s *session) dispatch(fields []string) (err error) {
 		if err := kwsc.WriteMetricsPrometheus(os.Stdout); err != nil {
 			return err
 		}
+	case "pages":
+		printPagerStats()
 	case "slow":
 		entries := kwsc.SlowQueries()
 		if len(entries) == 0 {
@@ -331,6 +352,28 @@ func printSessionMetrics() {
 	for _, l := range lines {
 		fmt.Println(l)
 	}
+}
+
+// printPagerStats reports the out-of-core serving layer: open/mapped files,
+// buffer-pool residency and hit rate, checksum failures, and the retirement
+// protocol counters. All zeros means every index is serving from RAM.
+func printPagerStats() {
+	snap := kwsc.Metrics()
+	hits := snap.Counters["kwsc_pager_pin_hits_total"]
+	misses := snap.Counters["kwsc_pager_pin_misses_total"]
+	fmt.Printf("pager: %d files open, %d bytes mapped\n",
+		snap.Gauges["kwsc_pager_open_files"], snap.Gauges["kwsc_pager_mapped_bytes"])
+	fmt.Printf("buffer pool: %d pages resident, %d evictions\n",
+		snap.Gauges["kwsc_pager_resident_pages"], snap.Counters["kwsc_pager_evictions_total"])
+	if hits+misses > 0 {
+		fmt.Printf("pins: %d hits, %d misses (%.1f%% hit rate)\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses))
+	} else {
+		fmt.Println("pins: none (mapped files read zero-copy, without pinning)")
+	}
+	fmt.Printf("integrity: %d checksum failures\n", snap.Counters["kwsc_pager_crc_failures_total"])
+	fmt.Printf("retired files: %d deferred, %d deleted\n",
+		snap.Counters["kwsc_pager_retire_deferred_total"], snap.Counters["kwsc_pager_retired_deleted_total"])
 }
 
 var errDurableOff = errors.New("durable index not open; start with -durable <dir>")

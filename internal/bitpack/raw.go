@@ -1,0 +1,16 @@
+package bitpack
+
+// Raw exposes the arena's backing stores for serialization: the payload
+// words and the block metadata, in arena order. The returned slices alias
+// the arena — callers must treat them as read-only.
+func (a *PackedLists) Raw() (words []uint64, blocks []Block) {
+	return a.words, a.blocks
+}
+
+// FromRaw reassembles an arena from serialized backing stores (the inverse
+// of Raw). The handles that indexed the original arena remain valid against
+// the result. Untrusted inputs must still pass Validate per handle before
+// decoding.
+func FromRaw(words []uint64, blocks []Block) PackedLists {
+	return PackedLists{words: words, blocks: blocks}
+}

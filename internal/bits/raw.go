@@ -1,0 +1,11 @@
+package bits
+
+// Raw exposes the arena's backing words for serialization, in arena order.
+// The returned slice aliases the arena — callers must treat it as read-only.
+func (a *Arena) Raw() []uint64 { return a.words }
+
+// ArenaFromWords reassembles an arena around an existing word slice (the
+// inverse of Raw) — e.g. a column of a paged flat-index image. The slice is
+// aliased, not copied, so bit offsets that indexed the original arena remain
+// valid against the result.
+func ArenaFromWords(words []uint64) Arena { return Arena{words: words} }

@@ -1,0 +1,194 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+	"kwsc/internal/pager"
+)
+
+func testPagedSnapshot(seed int64, n int) *Snapshot {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Snapshot{K: 2, Dim: 2, LastSeq: 41, NextHandle: int64(3*n + 10)}
+	h := int64(-1)
+	for i := 0; i < n; i++ {
+		h += 1 + rng.Int63n(3)
+		doc := map[dataset.Keyword]bool{}
+		for len(doc) < 1+rng.Intn(4) {
+			doc[dataset.Keyword(rng.Intn(24))] = true
+		}
+		obj := dataset.Object{Point: geom.Point{rng.Float64(), rng.NormFloat64()}}
+		for kw := range doc {
+			obj.Doc = append(obj.Doc, kw)
+		}
+		obj.Doc = dataset.NormalizeDoc(obj.Doc)
+		s.Entries = append(s.Entries, SnapshotEntry{Handle: h, Obj: obj})
+	}
+	return s
+}
+
+func snapshotsEqual(t *testing.T, a, b *Snapshot) {
+	t.Helper()
+	if a.K != b.K || a.Dim != b.Dim || a.LastSeq != b.LastSeq || a.NextHandle != b.NextHandle {
+		t.Fatalf("snapshot headers differ: %+v vs %+v", a, b)
+	}
+	if len(a.Entries) != len(b.Entries) {
+		t.Fatalf("entry counts differ: %d vs %d", len(a.Entries), len(b.Entries))
+	}
+	for i := range a.Entries {
+		x, y := &a.Entries[i], &b.Entries[i]
+		if x.Handle != y.Handle {
+			t.Fatalf("entry %d handle %d vs %d", i, x.Handle, y.Handle)
+		}
+		if len(x.Obj.Point) != len(y.Obj.Point) || len(x.Obj.Doc) != len(y.Obj.Doc) {
+			t.Fatalf("entry %d shape differs", i)
+		}
+		for j := range x.Obj.Point {
+			if x.Obj.Point[j] != y.Obj.Point[j] {
+				t.Fatalf("entry %d point differs", i)
+			}
+		}
+		for j := range x.Obj.Doc {
+			if x.Obj.Doc[j] != y.Obj.Doc[j] {
+				t.Fatalf("entry %d doc differs", i)
+			}
+		}
+	}
+}
+
+func TestPagedSnapshotRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 300} {
+		s := testPagedSnapshot(int64(n), n)
+		var buf bytes.Buffer
+		if err := WritePagedSnapshot(&buf, s); err != nil {
+			t.Fatalf("n=%d: write: %v", n, err)
+		}
+		if buf.Len()%pager.PageSize != 0 {
+			t.Fatalf("n=%d: container size %d not a page multiple", n, buf.Len())
+		}
+		got, err := ReadPagedSnapshot(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			t.Fatalf("n=%d: read: %v", n, err)
+		}
+		snapshotsEqual(t, s, got)
+	}
+}
+
+func TestPagedSnapshotDetectsCorruption(t *testing.T) {
+	s := testPagedSnapshot(3, 200)
+	var buf bytes.Buffer
+	if err := WritePagedSnapshot(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	// Flip one byte in every page in turn: each must be rejected.
+	for page := 0; page*pager.PageSize < len(clean); page++ {
+		data := append([]byte(nil), clean...)
+		data[page*pager.PageSize+137] ^= 0x20
+		if _, err := ReadPagedSnapshot(bytes.NewReader(data), int64(len(data))); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("corruption in page %d accepted (err=%v)", page, err)
+		}
+	}
+	// Truncation at every page boundary must be rejected too.
+	for sz := 0; sz < len(clean); sz += pager.PageSize {
+		if _, err := ReadPagedSnapshot(bytes.NewReader(clean[:sz]), int64(sz)); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", sz)
+		}
+	}
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	meta := PagedMeta{Kind: 9, K: 3, Dim: 4, Count: 77, LastSeq: 5, NextHandle: 80}
+	secs := []Section{
+		{ID: 40, Data: bytes.Repeat([]byte{0xab}, 3)},
+		{ID: 41, Data: nil},
+		{ID: 42, Data: bytes.Repeat([]byte{0x11}, 2*pager.PageSize+5)},
+	}
+	var buf bytes.Buffer
+	if err := WriteContainer(&buf, meta.Encode(), secs); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ParseContainer(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ParsePagedMeta(c.Meta); got != meta {
+		t.Fatalf("meta round-trip: %+v vs %+v", got, meta)
+	}
+	if err := c.VerifyAllPages(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range secs {
+		b, err := c.SectionBytes(bytes.NewReader(buf.Bytes()), s.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, s.Data) {
+			t.Fatalf("section %d round-trip differs", s.ID)
+		}
+		off, _, ok := c.Section(s.ID)
+		if !ok || off%pager.PageSize != 0 {
+			t.Fatalf("section %d at unaligned offset %d", s.ID, off)
+		}
+	}
+	if _, _, ok := c.Section(99); ok {
+		t.Fatal("phantom section found")
+	}
+}
+
+func TestWriteContainerRejectsBadSections(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteContainer(&buf, [64]byte{}, []Section{{ID: 0}}); err == nil {
+		t.Fatal("reserved id 0 accepted")
+	}
+	if err := WriteContainer(&buf, [64]byte{}, []Section{{ID: 7}, {ID: 7}}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	many := make([]Section, MaxSections)
+	for i := range many {
+		many[i].ID = uint32(i + 1)
+	}
+	if err := WriteContainer(&buf, [64]byte{}, many); err == nil {
+		t.Fatal("directory overflow accepted")
+	}
+}
+
+// FuzzReadPagedSnapshot asserts the KWCP2 parser chain — superblock,
+// section directory, page-CRC table, column decode — is total over
+// arbitrary bytes: parse or fail, never panic or over-allocate.
+func FuzzReadPagedSnapshot(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WritePagedSnapshot(&buf, testPagedSnapshot(1, 9)); err != nil {
+		f.Fatal(err)
+	}
+	golden := buf.Bytes()
+	f.Add(golden)
+	f.Add([]byte("KWC2"))
+	f.Add(golden[:pager.PageSize])
+	for _, pos := range []int{5, 13, 90, pager.PageSize + 8, 2 * pager.PageSize, len(golden) - 9} {
+		flip := append([]byte(nil), golden...)
+		flip[pos] ^= 0x41
+		f.Add(flip)
+		f.Add(flip[:pos])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadPagedSnapshot(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		// Accepted input must re-encode and re-parse to the same snapshot.
+		var out bytes.Buffer
+		if err := WritePagedSnapshot(&out, got); err != nil {
+			t.Fatalf("accepted snapshot fails to re-encode: %v", err)
+		}
+		back, err := ReadPagedSnapshot(bytes.NewReader(out.Bytes()), int64(out.Len()))
+		if err != nil {
+			t.Fatalf("re-encoded snapshot fails to parse: %v", err)
+		}
+		snapshotsEqual(t, got, back)
+	})
+}

@@ -1,0 +1,356 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"kwsc/internal/bitpack"
+	"kwsc/internal/dataset"
+)
+
+// Snapshot v2: the same logical payload as Snapshot (live handle/object
+// entries plus the WAL watermark), laid out as KWCP2 columns so a recovered
+// process can serve the checkpoint through a mapping instead of decoding it.
+// The columns are struct-of-arrays images of the entries, plus an inverted
+// index (sorted vocabulary, bitpacked postings of entry *indexes*) that the
+// paged base uses to answer queries without scanning every object.
+
+// Section IDs of a snapshot-v2 container (SecPageCRC is the container's own
+// table).
+const (
+	SecPageCRC    = 0
+	SecHandles    = 1 // []int64, strictly increasing, count entries
+	SecPoints     = 2 // []float64, count x dim, row-major
+	SecDocStart   = 3 // []int64, count+1 prefix offsets into SecDocWords
+	SecDocWords   = 4 // []uint32, concatenated sorted documents
+	SecVocab      = 5 // []uint32, sorted distinct keywords
+	SecPostLists  = 6 // []int32 triples {block, numBlocks, n} per vocab entry
+	SecPostBlocks = 7 // []int32 quads {off, first, max, n|w<<16} per block
+	SecPostWords  = 8 // []uint64 bitpack payload
+)
+
+// Kind discriminates what a KWCP2 container holds (PagedMeta.Kind).
+const (
+	PagedKindSnapshot  = 1
+	PagedKindFlatORPKW = 2
+	PagedKindFlatSPKW  = 3
+)
+
+// PagedMeta is the 64-byte application blob of a KWCP2 superblock.
+//
+//	kind u32 | k u32 | dim u32 | reserved u32
+//	count u64 | lastSeq u64 | nextHandle u64 | zeros
+type PagedMeta struct {
+	Kind       uint32
+	K          uint32
+	Dim        uint32
+	Count      uint64
+	LastSeq    uint64
+	NextHandle uint64
+}
+
+// Encode packs the meta into the superblock blob.
+func (m PagedMeta) Encode() [64]byte {
+	var b [64]byte
+	binary.LittleEndian.PutUint32(b[0:], m.Kind)
+	binary.LittleEndian.PutUint32(b[4:], m.K)
+	binary.LittleEndian.PutUint32(b[8:], m.Dim)
+	binary.LittleEndian.PutUint64(b[16:], m.Count)
+	binary.LittleEndian.PutUint64(b[24:], m.LastSeq)
+	binary.LittleEndian.PutUint64(b[32:], m.NextHandle)
+	return b
+}
+
+// ParsePagedMeta unpacks a superblock blob.
+func ParsePagedMeta(b [64]byte) PagedMeta {
+	return PagedMeta{
+		Kind:       binary.LittleEndian.Uint32(b[0:]),
+		K:          binary.LittleEndian.Uint32(b[4:]),
+		Dim:        binary.LittleEndian.Uint32(b[8:]),
+		Count:      binary.LittleEndian.Uint64(b[16:]),
+		LastSeq:    binary.LittleEndian.Uint64(b[24:]),
+		NextHandle: binary.LittleEndian.Uint64(b[32:]),
+	}
+}
+
+// EncodePostLists flattens bitpack list handles into the SecPostLists int32
+// layout.
+func EncodePostLists(lists []bitpack.List) []int32 {
+	out := make([]int32, 0, 3*len(lists))
+	for _, l := range lists {
+		out = append(out, l.Block, l.NumBlocks, l.N)
+	}
+	return out
+}
+
+// DecodePostLists is the inverse of EncodePostLists.
+func DecodePostLists(v []int32) ([]bitpack.List, error) {
+	if len(v)%3 != 0 {
+		return nil, fmt.Errorf("%w: posting list triples truncated", ErrCorrupt)
+	}
+	out := make([]bitpack.List, len(v)/3)
+	for i := range out {
+		out[i] = bitpack.List{Block: v[3*i], NumBlocks: v[3*i+1], N: v[3*i+2]}
+	}
+	return out, nil
+}
+
+// EncodePostBlocks flattens bitpack block metadata into the SecPostBlocks
+// int32 layout. Go struct layout is not a serialization format, so the
+// fields are interleaved explicitly.
+func EncodePostBlocks(blocks []bitpack.Block) []int32 {
+	out := make([]int32, 0, 4*len(blocks))
+	for _, b := range blocks {
+		out = append(out, b.Off, b.First, b.Max, int32(b.N)|int32(b.W)<<16)
+	}
+	return out
+}
+
+// DecodePostBlocks is the inverse of EncodePostBlocks.
+func DecodePostBlocks(v []int32) ([]bitpack.Block, error) {
+	if len(v)%4 != 0 {
+		return nil, fmt.Errorf("%w: posting block quads truncated", ErrCorrupt)
+	}
+	out := make([]bitpack.Block, len(v)/4)
+	for i := range out {
+		nw := v[4*i+3]
+		out[i] = bitpack.Block{
+			Off:   v[4*i],
+			First: v[4*i+1],
+			Max:   v[4*i+2],
+			N:     int16(nw & 0xffff),
+			W:     uint8(nw >> 16 & 0xff),
+		}
+		if nw>>24 != 0 {
+			return nil, fmt.Errorf("%w: posting block flags %#x unknown", ErrCorrupt, nw>>24)
+		}
+	}
+	return out, nil
+}
+
+// WritePagedSnapshot serializes the snapshot as a KWCP2 container.
+func WritePagedSnapshot(w io.Writer, s *Snapshot) error {
+	if s.Dim < 1 || s.Dim > 64 {
+		return fmt.Errorf("codec: snapshot dimension %d outside [1, 64]", s.Dim)
+	}
+	count := len(s.Entries)
+	handles := make([]int64, count)
+	points := make([]float64, count*s.Dim)
+	docStart := make([]int64, count+1)
+	var docWords []uint32
+	postings := map[uint32][]int32{}
+	prev := int64(-1)
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		if e.Handle <= prev {
+			return fmt.Errorf("codec: snapshot handles not strictly increasing at %d", e.Handle)
+		}
+		if len(e.Obj.Point) != s.Dim {
+			return fmt.Errorf("codec: snapshot entry %d has dimension %d, want %d", i, len(e.Obj.Point), s.Dim)
+		}
+		prev = e.Handle
+		handles[i] = e.Handle
+		copy(points[i*s.Dim:], e.Obj.Point)
+		for _, kw := range e.Obj.Doc {
+			docWords = append(docWords, kw)
+			postings[kw] = append(postings[kw], int32(i))
+		}
+		docStart[i+1] = int64(len(docWords))
+	}
+	vocab := make([]uint32, 0, len(postings))
+	for kw := range postings {
+		vocab = append(vocab, kw)
+	}
+	sort.Slice(vocab, func(i, j int) bool { return vocab[i] < vocab[j] })
+	var arena bitpack.PackedLists
+	lists := make([]bitpack.List, len(vocab))
+	for i, kw := range vocab {
+		lists[i] = arena.Append(postings[kw])
+	}
+	words, blocks := arena.Raw()
+
+	meta := PagedMeta{
+		Kind:       PagedKindSnapshot,
+		K:          uint32(s.K),
+		Dim:        uint32(s.Dim),
+		Count:      uint64(count),
+		LastSeq:    s.LastSeq,
+		NextHandle: uint64(s.NextHandle),
+	}
+	return WriteContainer(w, meta.Encode(), []Section{
+		{SecHandles, putI64s(handles)},
+		{SecPoints, putF64s(points)},
+		{SecDocStart, putI64s(docStart)},
+		{SecDocWords, putU32s(docWords)},
+		{SecVocab, putU32s(vocab)},
+		{SecPostLists, putI32s(EncodePostLists(lists))},
+		{SecPostBlocks, putI32s(EncodePostBlocks(blocks))},
+		{SecPostWords, putU64s(words)},
+	})
+}
+
+// sectionExact reads section id and checks its byte length is exactly want.
+func sectionExact(c *Container, r io.ReaderAt, id uint32, want int64) ([]byte, error) {
+	_, n, ok := c.Section(id)
+	if !ok && want == 0 {
+		return nil, nil
+	}
+	if !ok || n != want {
+		return nil, fmt.Errorf("%w: section %d is %d bytes, want %d", ErrCorrupt, id, n, want)
+	}
+	return c.SectionBytes(r, id)
+}
+
+// ReadPagedSnapshot fully decodes a snapshot-v2 container, verifying every
+// page checksum and the structural invariants — the eager path used by
+// classic (non-paged) recovery from a v2 checkpoint. Paged serving opens the
+// same bytes through core's paged base instead and never runs this.
+func ReadPagedSnapshot(r io.ReaderAt, size int64) (*Snapshot, error) {
+	c, err := ParseContainer(r, size)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.VerifyAllPages(r); err != nil {
+		return nil, err
+	}
+	meta := ParsePagedMeta(c.Meta)
+	if meta.Kind != PagedKindSnapshot {
+		return nil, fmt.Errorf("%w: container kind %d is not a snapshot", ErrCorrupt, meta.Kind)
+	}
+	if meta.K < 2 || meta.K > 64 {
+		return nil, fmt.Errorf("%w: snapshot arity", ErrCorrupt)
+	}
+	if meta.Dim == 0 || meta.Dim > 64 {
+		return nil, fmt.Errorf("%w: snapshot dimension", ErrCorrupt)
+	}
+	if meta.Count > 1<<31 || meta.NextHandle > math.MaxInt64 {
+		return nil, fmt.Errorf("%w: snapshot count or handle watermark", ErrCorrupt)
+	}
+	count := int64(meta.Count)
+	dim := int64(meta.Dim)
+
+	handlesB, err := sectionExact(c, r, SecHandles, 8*count)
+	if err != nil {
+		return nil, err
+	}
+	pointsB, err := sectionExact(c, r, SecPoints, 8*count*dim)
+	if err != nil {
+		return nil, err
+	}
+	docStartB, err := sectionExact(c, r, SecDocStart, 8*(count+1))
+	if err != nil {
+		return nil, err
+	}
+	handles := getI64s(handlesB)
+	points := getF64s(pointsB)
+	docStart := getI64s(docStartB)
+	if docStart[0] != 0 {
+		return nil, fmt.Errorf("%w: document offsets do not start at 0", ErrCorrupt)
+	}
+	total := docStart[count]
+	_, dwLen, _ := c.Section(SecDocWords)
+	if dwLen != 4*total {
+		return nil, fmt.Errorf("%w: document words sized %d, offsets claim %d", ErrCorrupt, dwLen, 4*total)
+	}
+	docWordsB, err := c.SectionBytes(r, SecDocWords)
+	if err != nil {
+		return nil, err
+	}
+	docWords := getU32s(docWordsB)
+
+	s := &Snapshot{
+		K: int(meta.K), Dim: int(meta.Dim),
+		LastSeq: meta.LastSeq, NextHandle: int64(meta.NextHandle),
+		Entries: make([]SnapshotEntry, 0, count),
+	}
+	prev := int64(-1)
+	for i := int64(0); i < count; i++ {
+		h := handles[i]
+		if h <= prev || h >= s.NextHandle {
+			return nil, fmt.Errorf("%w: snapshot handle %d out of order or past watermark", ErrCorrupt, h)
+		}
+		prev = h
+		lo, hi := docStart[i], docStart[i+1]
+		if lo >= hi {
+			return nil, fmt.Errorf("%w: document length", ErrCorrupt)
+		}
+		doc := make([]dataset.Keyword, hi-lo)
+		for j := range doc {
+			kw := docWords[lo+int64(j)]
+			if j > 0 && kw <= doc[j-1] {
+				return nil, fmt.Errorf("%w: document keywords not strictly increasing", ErrCorrupt)
+			}
+			doc[j] = kw
+		}
+		p := make([]float64, dim)
+		copy(p, points[i*dim:(i+1)*dim])
+		s.Entries = append(s.Entries, SnapshotEntry{Handle: h, Obj: dataset.Object{Point: p, Doc: doc}})
+	}
+
+	// The inverted-index sections are unused on this path but must still be
+	// structurally sound — the paged base trusts the same validation.
+	if err := validateSnapshotPostings(c, r, count, total); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// validateSnapshotPostings checks the vocabulary and bitpacked posting
+// sections: sorted vocab, one list per keyword, every block span inside the
+// word arena, and exactly one posting per document word.
+func validateSnapshotPostings(c *Container, r io.ReaderAt, count, totalWords int64) error {
+	vocabB, err := c.SectionBytes(r, SecVocab)
+	if err != nil {
+		return err
+	}
+	listsB, err := c.SectionBytes(r, SecPostLists)
+	if err != nil {
+		return err
+	}
+	blocksB, err := c.SectionBytes(r, SecPostBlocks)
+	if err != nil {
+		return err
+	}
+	wordsB, err := c.SectionBytes(r, SecPostWords)
+	if err != nil {
+		return err
+	}
+	if len(vocabB)%4 != 0 || len(listsB)%4 != 0 || len(blocksB)%4 != 0 || len(wordsB)%8 != 0 {
+		return fmt.Errorf("%w: posting section not a whole number of values", ErrCorrupt)
+	}
+	vocab := getU32s(vocabB)
+	lists, err := DecodePostLists(getI32s(listsB))
+	if err != nil {
+		return err
+	}
+	blocks, err := DecodePostBlocks(getI32s(blocksB))
+	if err != nil {
+		return err
+	}
+	if len(lists) != len(vocab) {
+		return fmt.Errorf("%w: %d posting lists for %d keywords", ErrCorrupt, len(lists), len(vocab))
+	}
+	arena := bitpack.FromRaw(getU64s(wordsB), blocks)
+	var n int64
+	for i, l := range lists {
+		if i > 0 && vocab[i] <= vocab[i-1] {
+			return fmt.Errorf("%w: vocabulary not strictly increasing", ErrCorrupt)
+		}
+		if err := arena.Validate(l); err != nil {
+			return fmt.Errorf("%w: posting list %d: %v", ErrCorrupt, i, err)
+		}
+		for _, b := range arena.Blocks(l) {
+			if b.First < 0 || int64(b.Max) >= count || b.First > b.Max {
+				return fmt.Errorf("%w: posting block ids outside [0,%d)", ErrCorrupt, count)
+			}
+		}
+		n += int64(l.N)
+	}
+	if n != totalWords {
+		return fmt.Errorf("%w: %d postings for %d document words", ErrCorrupt, n, totalWords)
+	}
+	return nil
+}

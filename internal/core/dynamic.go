@@ -63,7 +63,15 @@ type DynamicORPKW struct {
 type dynState struct {
 	buffer  []dynEntry   // unindexed recent inserts (never mutated in place)
 	buckets []*dynBucket // buckets[i] holds at most bufferCap<<i entries
-	deleted *tombSet     // tombstoned handles still present in buckets
+	deleted *tombSet     // tombstoned handles still present in buckets or base
+
+	// base is an optional immutable bottom layer served out-of-core (a
+	// paged checkpoint opened in place). It is shared by every successor
+	// state for the process lifetime: merges never fold it in, deletions of
+	// its entries stay tombstones, and baseTombs counts them so compaction
+	// triggers only on the purgeable (bucket-resident) tombstones.
+	base      BaseIndex
+	baseTombs int
 
 	nextHandle int64
 	live       int
@@ -195,6 +203,25 @@ type dynEntry struct {
 	obj    dataset.Object
 }
 
+// BaseIndex is an immutable bottom layer a dynamic index can sit on — in
+// practice a PagedBase serving a checkpoint file in place. The dynamic layer
+// owns liveness: tombstoned handles are filtered by the caller of Query, and
+// Entries enumerates every base entry regardless of tombstones.
+type BaseIndex interface {
+	// Len returns the number of entries in the base.
+	Len() int
+	// Has reports whether handle names a base entry.
+	Has(handle int64) bool
+	// Query reports every base entry in q whose document contains all
+	// keywords. Reported objects may alias scratch valid only during the
+	// callback.
+	Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(handle int64, obj *dataset.Object)) (QueryStats, error)
+	// Entries decodes every base entry, ascending by handle.
+	Entries() ([]DynEntry, error)
+	// Close releases the base's resources (file references, mappings).
+	Close() error
+}
+
 // dynBucket is one static part. It is immutable after construction: the
 // entries slice is never appended to or reordered, and the static index is
 // safe for concurrent readers, so buckets are shared freely across states.
@@ -307,6 +334,7 @@ func (d *DynamicORPKW) Insert(obj dataset.Object) (int64, error) {
 	buf[len(st.buffer)] = dynEntry{handle: h, obj: cp}
 	ns := &dynState{
 		buffer: buf, buckets: st.buckets, deleted: st.deleted,
+		base: st.base, baseTombs: st.baseTombs,
 		nextHandle: h + 1, live: st.live + 1, seq: st.seq + 1,
 	}
 	if d.fam != famNone {
@@ -343,8 +371,10 @@ func (d *DynamicORPKW) Delete(handle int64) (bool, error) {
 	if st.deleted.has(handle) {
 		return false, nil
 	}
-	// Locate the handle first — in the buffer or in some bucket — so the
-	// journal only ever records deletions of live handles.
+	// Locate the handle first — in the buffer, the base, or some bucket —
+	// so the journal only ever records deletions of live handles. The base
+	// check precedes the bucket scan because Has is a binary search while
+	// the bucket scan is linear.
 	bufIdx := -1
 	for i := range st.buffer {
 		if st.buffer[i].handle == handle {
@@ -352,24 +382,29 @@ func (d *DynamicORPKW) Delete(handle int64) (bool, error) {
 			break
 		}
 	}
+	inBase := false
 	if bufIdx < 0 {
-		found := false
-		for _, b := range st.buckets {
-			if b == nil {
-				continue
-			}
-			for i := range b.entries {
-				if b.entries[i].handle == handle {
-					found = true
+		if st.base != nil && st.base.Has(handle) {
+			inBase = true
+		} else {
+			found := false
+			for _, b := range st.buckets {
+				if b == nil {
+					continue
+				}
+				for i := range b.entries {
+					if b.entries[i].handle == handle {
+						found = true
+						break
+					}
+				}
+				if found {
 					break
 				}
 			}
-			if found {
-				break
+			if !found {
+				return false, nil
 			}
-		}
-		if !found {
-			return false, nil
 		}
 	}
 	if d.journal != nil {
@@ -379,6 +414,7 @@ func (d *DynamicORPKW) Delete(handle int64) (bool, error) {
 	}
 	ns := &dynState{
 		buffer: st.buffer, buckets: st.buckets, deleted: st.deleted,
+		base: st.base, baseTombs: st.baseTombs,
 		nextHandle: st.nextHandle, live: st.live - 1, seq: st.seq + 1,
 	}
 	if bufIdx >= 0 {
@@ -388,17 +424,23 @@ func (d *DynamicORPKW) Delete(handle int64) (bool, error) {
 		ns.buffer = buf
 	} else {
 		ns.deleted = st.deleted.with(handle)
+		if inBase {
+			ns.baseTombs++
+		}
 	}
 	if d.fam != famNone {
 		dynDeletes.Inc()
 	}
-	// Compact when tombstones exceed half the live count: merges only purge
-	// the buckets they touch, so without this trigger a delete-heavy workload
-	// leaks tombstones (and their map memory) indefinitely. The delete itself
-	// is journaled and must stick, so a failed compaction publishes the
-	// uncompacted state and surfaces the error alongside ok=true.
+	// Compact when purgeable tombstones exceed half the live count: merges
+	// only purge the buckets they touch, so without this trigger a
+	// delete-heavy workload leaks tombstones (and their map memory)
+	// indefinitely. Base tombstones are excluded — the base is immutable, a
+	// rebuild can never retire them, and counting them would re-trigger
+	// compaction forever. The delete itself is journaled and must stick, so
+	// a failed compaction publishes the uncompacted state and surfaces the
+	// error alongside ok=true.
 	var rebErr error
-	if 2*ns.deleted.size() > ns.live {
+	if 2*(ns.deleted.size()-ns.baseTombs) > ns.live {
 		if rb, err := d.rebuilt(ns); err != nil {
 			rebErr = err
 		} else {
@@ -427,7 +469,7 @@ func (d *DynamicORPKW) carried(st *dynState) (*dynState, error) {
 	tombs := st.deleted.materialize()
 	entries = purge(entries, tombs)
 	ns := &dynState{
-		buckets:    buckets,
+		buckets: buckets, base: st.base, baseTombs: st.baseTombs,
 		nextHandle: st.nextHandle, live: st.live, seq: st.seq,
 	}
 	if err := d.installInto(ns, entries, slot, tombs); err != nil {
@@ -451,15 +493,21 @@ func (d *DynamicORPKW) rebuilt(st *dynState) (*dynState, error) {
 	}
 	tombs := st.deleted.materialize()
 	entries = purge(entries, tombs)
-	ns := &dynState{nextHandle: st.nextHandle, live: st.live, seq: st.seq}
+	ns := &dynState{
+		base: st.base, baseTombs: st.baseTombs,
+		nextHandle: st.nextHandle, live: st.live, seq: st.seq,
+	}
 	if len(entries) == 0 {
+		// Base tombstones survive every rebuild (the base is immutable), so
+		// the set is not necessarily empty here.
+		ns.deleted = tombSetFrom(tombs)
 		return ns, nil
 	}
 	if err := d.installInto(ns, entries, 0, tombs); err != nil {
 		return nil, err
 	}
-	// Every tombstone names a bucket entry and every bucket was merged, so
-	// the purge consumed the whole set.
+	// Every purgeable tombstone names a bucket entry and every bucket was
+	// merged, so the purge consumed all but the base tombstones.
 	ns.deleted = tombSetFrom(tombs)
 	return ns, nil
 }
@@ -583,6 +631,31 @@ func (d *DynamicORPKW) queryState(sn *dynState, q *geom.Rect, ws []dataset.Keywo
 			}
 			report(e.handle, &e.obj)
 			st.Reported++
+		}
+	}
+	// Base: the paged checkpoint layer, scanned like a bucket with
+	// tombstones filtered here (the base has no liveness knowledge).
+	if sn.base != nil {
+		if opts.Limit > 0 && st.Reported >= opts.Limit {
+			st.Truncated = true
+			return st, nil
+		}
+		live := 0
+		bopts := QueryOpts{Budget: opts.Budget, Policy: opts.Policy.shrunk(st.Ops)}
+		bst, berr := sn.base.Query(q, ws, bopts, func(h int64, obj *dataset.Object) {
+			if sn.deleted.has(h) {
+				return
+			}
+			if opts.Limit > 0 && st.Reported+live >= opts.Limit {
+				return
+			}
+			report(h, obj)
+			live++
+		})
+		bst.Reported = live
+		st.add(bst)
+		if berr != nil {
+			return st, berr
 		}
 	}
 	for _, b := range sn.buckets {
@@ -729,10 +802,23 @@ type DynEntry struct {
 // Entries returns every entry live at the pinned seq in ascending handle
 // order. The returned objects alias the index's internal copies; callers
 // must treat them as read-only (holding them across further mutations is
-// fine — the pinned state is immutable).
-func (s *DynSnapshot) Entries() []DynEntry {
+// fine — the pinned state is immutable). With a paged base attached the
+// base file is read in full, which can fail (I/O, checksum) — hence the
+// error.
+func (s *DynSnapshot) Entries() ([]DynEntry, error) {
 	st := s.st
 	out := make([]DynEntry, 0, st.live)
+	if st.base != nil {
+		bes, err := st.base.Entries()
+		if err != nil {
+			return nil, err
+		}
+		for i := range bes {
+			if !st.deleted.has(bes[i].Handle) {
+				out = append(out, bes[i])
+			}
+		}
+	}
 	for i := range st.buffer {
 		out = append(out, DynEntry{Handle: st.buffer[i].handle, Obj: st.buffer[i].obj})
 	}
@@ -749,7 +835,7 @@ func (s *DynSnapshot) Entries() []DynEntry {
 		}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Handle < out[b].Handle })
-	return out
+	return out, nil
 }
 
 // RestoreDynamicORPKW rebuilds a dynamic index from a durability snapshot:
@@ -795,6 +881,31 @@ func RestoreDynamicORPKW(dim, k, bufferCap int, entries []DynEntry, nextHandle i
 	d.publish(d.state.Load(), st)
 	return d, nil
 }
+
+// RestoreDynamicORPKWFromBase builds a dynamic index whose bottom layer is
+// an already-open paged checkpoint, without decoding a single entry: the
+// base serves its objects in place, new writes land in the buffer/buckets
+// above it, and deletions of base entries become permanent tombstones. The
+// base's entry count and handle watermark must come from its own validated
+// metadata (the caller — recovery — passes them through).
+func RestoreDynamicORPKWFromBase(dim, k, bufferCap int, base BaseIndex, nextHandle int64, opts ...BuildOption) (*DynamicORPKW, error) {
+	if base == nil {
+		return nil, fmt.Errorf("core: nil base index")
+	}
+	d, err := NewDynamicORPKW(dim, k, bufferCap, opts...)
+	if err != nil {
+		return nil, err
+	}
+	st := &dynState{base: base, live: base.Len(), nextHandle: nextHandle}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.publish(d.state.Load(), st)
+	return d, nil
+}
+
+// Base returns the immutable bottom layer, or nil. The durability layer
+// uses it to close the base's file reference on shutdown.
+func (d *DynamicORPKW) Base() BaseIndex { return d.state.Load().base }
 
 // expectedBuckets returns the binary-counter bucket count for n entries and
 // buffer capacity b (a test helper kept here for documentation value).

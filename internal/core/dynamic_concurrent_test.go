@@ -49,8 +49,12 @@ func churn(t *testing.T, d *DynamicORPKW, seed int64, n int) {
 // dump — the self-consistency oracle: whatever state a reader pinned, its
 // queries must agree with its entry listing.
 func snapBrute(s *DynSnapshot, q *geom.Rect, ws []dataset.Keyword) []int64 {
+	entries, err := s.Entries()
+	if err != nil {
+		panic(err)
+	}
 	var out []int64
-	for _, e := range s.Entries() {
+	for _, e := range entries {
 		if q.ContainsPoint(e.Obj.Point) && docHasAll(e.Obj.Doc, ws) {
 			out = append(out, e.Handle)
 		}
@@ -93,7 +97,12 @@ func TestDynamicConcurrentSnapshotConsistency(t *testing.T) {
 					return
 				}
 				lastSeq = s.Seq()
-				if got := len(s.Entries()); got != s.Len() {
+				es, err := s.Entries()
+				if err != nil {
+					t.Errorf("reader %d: Entries: %v", r, err)
+					return
+				}
+				if got := len(es); got != s.Len() {
 					t.Errorf("reader %d: seq %d: Entries()=%d, Len()=%d", r, s.Seq(), got, s.Len())
 					return
 				}
@@ -154,7 +163,11 @@ func TestDynamicSnapshotPinnedAcrossChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 	sort.Slice(before, func(i, j int) bool { return before[i] < before[j] })
-	entriesBefore := fmt.Sprint(s.Entries())
+	eb, err := s.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entriesBefore := fmt.Sprint(eb)
 
 	// Churn past the pin: deletes force tombstones and a compaction, inserts
 	// force buffer carries that rebuild the bucket array the pin points into.
@@ -180,7 +193,11 @@ func TestDynamicSnapshotPinnedAcrossChurn(t *testing.T) {
 	if fmt.Sprint(before) != fmt.Sprint(after) {
 		t.Fatalf("pinned view changed: %v then %v", before, after)
 	}
-	if got := fmt.Sprint(s.Entries()); got != entriesBefore {
+	ea, err := s.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(ea); got != entriesBefore {
 		t.Fatalf("pinned entry dump changed across churn")
 	}
 	if head := d.Seq(); head <= pinSeq {

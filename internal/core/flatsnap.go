@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"kwsc/internal/bitpack"
+	"kwsc/internal/bits"
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+	"kwsc/internal/spart"
+)
+
+// This file is the serialization boundary of the flat layout: ExportFlat
+// turns a flattened Framework into plain columns (FlatArenas), and
+// NewFrameworkFromFlat rebuilds a query-ready Framework from untrusted
+// columns — e.g. ones aliasing a read-only KWCP2 mapping (internal/flatio).
+// Only rectangle splitters (spart.KD, spart.Box) round-trip: their cells are
+// 2*pdim float64 bounds. Willard2D cells are convex polygons built during the
+// ham-sandwich recursion and have no fixed-width serialized form.
+
+// Splitter kinds a FlatArenas image can carry.
+const (
+	FlatSplitKD  = 1 // spart.KD over PDim-dimensional points
+	FlatSplitBox = 2 // spart.Box over PDim-dimensional points
+)
+
+// FlatArenas is the column image of a flattened Framework: every slice of
+// flatLayout as a flat, fixed-width array, in BFS node order. Slices returned
+// by ExportFlat alias the live index and must be treated as read-only;
+// slices given to NewFrameworkFromFlat are aliased by the result and must
+// stay immutable for the index's lifetime (they may point into a PROT_READ
+// mapping).
+type FlatArenas struct {
+	SplitterKind int // FlatSplitKD or FlatSplitBox
+	K            int // query keyword arity
+	PDim         int // partitioning-coordinate dimensionality
+	NumObjects   int // dataset size the ids index into
+
+	// Node skeleton, BFS order (see flatLayout). CellBounds packs each cell
+	// as Lo[0..PDim) then Hi[0..PDim).
+	CellBounds []float64
+	Nu         []int64
+	L          []int32
+	ChildFirst []int32
+	ChildCount []int32
+
+	// Pivot sets: PivotIDs[PivotStart[u]:PivotStart[u+1]].
+	PivotStart []int32
+	PivotIDs   []int32
+
+	// Large keywords, sorted per node, parallel to the tensor axis indexes.
+	LargeStart []int32
+	LargeKeys  []dataset.Keyword
+	LargeIdx   []int32
+
+	// Materialized small-keyword lists: handles into the bitpack arena
+	// (MatWords payload + MatBlocks metadata).
+	MatStart  []int32
+	MatKeys   []dataset.Keyword
+	MatLists  []bitpack.List
+	MatBlocks []bitpack.Block
+	MatWords  []uint64
+
+	// Non-emptiness tensors: node u's child ci occupies TensorStride[u]
+	// words at TensorOff[u] + ci*TensorStride[u].
+	TensorOff    []int64
+	TensorStride []int64
+	TensorWords  []uint64
+
+	// Packed partitioning coordinates, NumObjects x PDim row-major.
+	Coords []float64
+}
+
+// ExportFlat exposes the flat layout as serializable columns. The framework
+// must already be flat (build with WithFlatLayout or call Flatten), and its
+// splitter must be spart.KD or spart.Box. The returned slices alias the
+// index — callers must treat them as read-only.
+func (f *Framework) ExportFlat() (*FlatArenas, error) {
+	if f.flat == nil {
+		return nil, fmt.Errorf("core: ExportFlat requires the flat layout (call Flatten first)")
+	}
+	var kind int
+	switch f.split.(type) {
+	case *spart.KD:
+		kind = FlatSplitKD
+	case *spart.Box:
+		kind = FlatSplitBox
+	default:
+		return nil, fmt.Errorf("core: splitter %T has no serializable cells (KD and Box only)", f.split)
+	}
+	fl := f.flat
+	nn := len(fl.cells)
+	a := &FlatArenas{
+		SplitterKind: kind,
+		K:            f.k,
+		PDim:         fl.pdim,
+		NumObjects:   f.ds.Len(),
+
+		Nu:         fl.nu,
+		L:          fl.l,
+		ChildFirst: fl.childFirst,
+		ChildCount: fl.childCount,
+		PivotStart: fl.pivotStart,
+		PivotIDs:   fl.pivotIDs,
+		LargeStart: fl.largeStart,
+		LargeKeys:  fl.largeKeys,
+		LargeIdx:   fl.largeIdx,
+		MatStart:   fl.matStart,
+		MatKeys:    fl.matKeys,
+		MatLists:   fl.matLists,
+
+		TensorOff:    fl.tensorOff,
+		TensorStride: fl.tensorStride,
+		TensorWords:  fl.tensorArena.Raw(),
+		Coords:       fl.coords,
+	}
+	a.MatWords, a.MatBlocks = fl.matArena.Raw()
+	a.CellBounds = make([]float64, 0, 2*fl.pdim*nn)
+	for u, c := range fl.cells {
+		r, ok := c.(*geom.Rect)
+		if !ok {
+			return nil, fmt.Errorf("core: node %d cell is %T, not a rectangle", u, c)
+		}
+		a.CellBounds = append(a.CellBounds, r.Lo...)
+		a.CellBounds = append(a.CellBounds, r.Hi...)
+	}
+	return a, nil
+}
+
+// NewFrameworkFromFlat rebuilds a query-ready Framework from exported
+// columns. The columns are untrusted (they typically come off disk): every
+// structural invariant the query path relies on is checked up front, so a
+// malformed image yields an error here rather than a panic mid-query.
+// Checksums are the caller's concern (flatio verifies pages before this
+// runs); this validation is about shape, not integrity.
+//
+// The arenas are aliased, not copied — see FlatArenas.
+func NewFrameworkFromFlat(ds *dataset.Dataset, a *FlatArenas) (*Framework, error) {
+	if err := checkDataset(ds); err != nil {
+		return nil, err
+	}
+	if a.K < 2 || a.K > 64 {
+		return nil, fmt.Errorf("core: flat image arity %d outside [2, 64]", a.K)
+	}
+	if a.NumObjects != ds.Len() {
+		return nil, fmt.Errorf("core: flat image indexes %d objects, dataset has %d", a.NumObjects, ds.Len())
+	}
+	if a.PDim < 1 || a.PDim > 64 {
+		return nil, fmt.Errorf("core: flat image point dimension %d outside [1, 64]", a.PDim)
+	}
+	var split spart.Splitter
+	switch a.SplitterKind {
+	case FlatSplitKD:
+		split = &spart.KD{Dim: a.PDim}
+	case FlatSplitBox:
+		split = &spart.Box{Dim: a.PDim}
+	default:
+		return nil, fmt.Errorf("core: flat image splitter kind %d unknown", a.SplitterKind)
+	}
+
+	nn := len(a.Nu)
+	if nn < 1 || nn > math.MaxInt32 {
+		return nil, fmt.Errorf("core: flat image has %d nodes", nn)
+	}
+	n := a.NumObjects
+	if len(a.L) != nn || len(a.ChildFirst) != nn || len(a.ChildCount) != nn ||
+		len(a.TensorOff) != nn || len(a.TensorStride) != nn {
+		return nil, fmt.Errorf("core: flat image skeleton columns disagree on node count")
+	}
+	if len(a.CellBounds) != 2*a.PDim*nn {
+		return nil, fmt.Errorf("core: flat image carries %d cell bounds for %d nodes of dimension %d",
+			len(a.CellBounds), nn, a.PDim)
+	}
+	if len(a.Coords) != n*a.PDim {
+		return nil, fmt.Errorf("core: flat image carries %d coordinates for %d objects of dimension %d",
+			len(a.Coords), n, a.PDim)
+	}
+	if err := checkStarts("pivot", a.PivotStart, nn, len(a.PivotIDs)); err != nil {
+		return nil, err
+	}
+	if err := checkStarts("large-keyword", a.LargeStart, nn, len(a.LargeKeys)); err != nil {
+		return nil, err
+	}
+	if err := checkStarts("materialized-list", a.MatStart, nn, len(a.MatKeys)); err != nil {
+		return nil, err
+	}
+	if len(a.LargeIdx) != len(a.LargeKeys) {
+		return nil, fmt.Errorf("core: flat image has %d large indexes for %d large keys", len(a.LargeIdx), len(a.LargeKeys))
+	}
+	if len(a.MatLists) != len(a.MatKeys) {
+		return nil, fmt.Errorf("core: flat image has %d list handles for %d materialized keys", len(a.MatLists), len(a.MatKeys))
+	}
+
+	// BFS layout invariant: dequeue order assigns each node's children the
+	// next contiguous id block, so a single cursor must reproduce ChildFirst
+	// exactly and land on the node count. This guarantees the "tree" is a
+	// tree (acyclic, every node reachable exactly once from the root), which
+	// the recursive traversals rely on to terminate.
+	next := 1
+	for u := 0; u < nn; u++ {
+		if a.Nu[u] < 0 {
+			return nil, fmt.Errorf("core: node %d has negative weight", u)
+		}
+		cc := int(a.ChildCount[u])
+		if cc < 0 || int(a.ChildFirst[u]) != next {
+			return nil, fmt.Errorf("core: node %d breaks the BFS child layout", u)
+		}
+		next += cc
+		if next > nn {
+			return nil, fmt.Errorf("core: node %d claims children past the node count", u)
+		}
+	}
+	if next != nn {
+		return nil, fmt.Errorf("core: flat image has %d nodes but the BFS layout covers %d", nn, next)
+	}
+
+	for _, id := range a.PivotIDs {
+		if id < 0 || int(id) >= n {
+			return nil, fmt.Errorf("core: pivot id %d outside [0, %d)", id, n)
+		}
+	}
+	for j := 0; j < 2*a.PDim*nn; j += 2 * a.PDim {
+		for d := 0; d < a.PDim; d++ {
+			lo, hi := a.CellBounds[j+d], a.CellBounds[j+a.PDim+d]
+			if !(lo <= hi) { // also rejects NaN
+				return nil, fmt.Errorf("core: node %d cell is empty or NaN on dimension %d", j/(2*a.PDim), d)
+			}
+		}
+	}
+
+	matArena := bitpack.FromRaw(a.MatWords, a.MatBlocks)
+	for u := 0; u < nn; u++ {
+		ls, le := a.LargeStart[u], a.LargeStart[u+1]
+		if int(a.L[u]) != int(le-ls) {
+			return nil, fmt.Errorf("core: node %d claims %d large keywords, carries %d", u, a.L[u], le-ls)
+		}
+		for i := ls; i < le; i++ {
+			if i > ls && a.LargeKeys[i] <= a.LargeKeys[i-1] {
+				return nil, fmt.Errorf("core: node %d large keywords not strictly increasing", u)
+			}
+			if a.LargeIdx[i] < 0 || a.LargeIdx[i] >= a.L[u] {
+				return nil, fmt.Errorf("core: node %d large index %d outside [0, %d)", u, a.LargeIdx[i], a.L[u])
+			}
+		}
+		ms, me := a.MatStart[u], a.MatStart[u+1]
+		for i := ms; i < me; i++ {
+			if i > ms && a.MatKeys[i] <= a.MatKeys[i-1] {
+				return nil, fmt.Errorf("core: node %d materialized keywords not strictly increasing", u)
+			}
+			l := a.MatLists[i]
+			if err := matArena.Validate(l); err != nil {
+				return nil, fmt.Errorf("core: node %d list %d: %w", u, i, err)
+			}
+			for _, b := range matArena.Blocks(l) {
+				if b.First < 0 || int(b.Max) >= n || b.First > b.Max {
+					return nil, fmt.Errorf("core: node %d materialized ids outside [0, %d)", u, n)
+				}
+			}
+		}
+
+		// Tensor geometry: internal nodes carry one stride-sized bit array
+		// per child; leaves carry nothing. The stride must be exactly
+		// ceil(L^k / 64) — tensorGet computes bit addresses from it.
+		off, stride, cc := a.TensorOff[u], a.TensorStride[u], int64(a.ChildCount[u])
+		if cc == 0 {
+			if off != 0 || stride != 0 {
+				return nil, fmt.Errorf("core: leaf node %d carries a tensor", u)
+			}
+			continue
+		}
+		want, ok := tensorWordsChecked(int64(a.L[u]), a.K)
+		if !ok {
+			return nil, fmt.Errorf("core: node %d tensor exceeds the sanity bound", u)
+		}
+		if stride != want {
+			return nil, fmt.Errorf("core: node %d tensor stride %d, want %d", u, stride, want)
+		}
+		if off < 0 || off > int64(len(a.TensorWords)) {
+			return nil, fmt.Errorf("core: node %d tensor offset %d outside the arena", u, off)
+		}
+		if stride > 0 && cc > (int64(len(a.TensorWords))-off)/stride {
+			return nil, fmt.Errorf("core: node %d tensors overrun the arena", u)
+		}
+	}
+
+	fl := &flatLayout{
+		cells:        make([]spart.Cell, nn),
+		nu:           a.Nu,
+		l:            a.L,
+		childFirst:   a.ChildFirst,
+		childCount:   a.ChildCount,
+		pivotStart:   a.PivotStart,
+		pivotIDs:     a.PivotIDs,
+		largeStart:   a.LargeStart,
+		largeKeys:    a.LargeKeys,
+		largeIdx:     a.LargeIdx,
+		matStart:     a.MatStart,
+		matKeys:      a.MatKeys,
+		matLists:     a.MatLists,
+		matArena:     matArena,
+		tensorOff:    a.TensorOff,
+		tensorStride: a.TensorStride,
+		tensorArena:  bits.ArenaFromWords(a.TensorWords),
+		coords:       a.Coords,
+		pdim:         a.PDim,
+	}
+	for u := 0; u < nn; u++ {
+		fl.cells[u] = &geom.Rect{
+			Lo: a.CellBounds[2*a.PDim*u : 2*a.PDim*u+a.PDim],
+			Hi: a.CellBounds[2*a.PDim*u+a.PDim : 2*a.PDim*(u+1)],
+		}
+	}
+	f := &Framework{ds: ds, k: a.K, split: split, flat: fl, leafSize: 8}
+	f.space.DocHashWords = ds.DocSpaceWords()
+	f.accountSpaceFlat()
+	return f, nil
+}
+
+// checkStarts validates one prefix-offset column: nn+1 entries running
+// monotonically from 0 to the payload length.
+func checkStarts(what string, starts []int32, nn, payload int) error {
+	if len(starts) != nn+1 {
+		return fmt.Errorf("core: flat image %s offsets have %d entries for %d nodes", what, len(starts), nn)
+	}
+	if starts[0] != 0 || int(starts[nn]) != payload {
+		return fmt.Errorf("core: flat image %s offsets span [%d, %d], payload is %d", what, starts[0], starts[nn], payload)
+	}
+	for i := 0; i < nn; i++ {
+		if starts[i] > starts[i+1] {
+			return fmt.Errorf("core: flat image %s offsets decrease at node %d", what, i)
+		}
+	}
+	return nil
+}
+
+// tensorWordsChecked is tensorSize in word units with the panic turned into
+// an ok flag — flat images are untrusted, so an absurd L must not crash.
+func tensorWordsChecked(L int64, k int) (int64, bool) {
+	if L < 0 {
+		return 0, false
+	}
+	s := int64(1)
+	for i := 0; i < k; i++ {
+		s *= L
+		if s > 1<<40 {
+			return 0, false
+		}
+	}
+	return (s + 63) / 64, true
+}
+
+// NewORPKWFromParts assembles an ORPKW around a reconstructed framework and
+// rank space — the open path for paged flat images (internal/flatio). The
+// framework must have been built (or rebuilt) over ds's rank-space points.
+func NewORPKWFromParts(ds *dataset.Dataset, rs *dataset.RankSpace, fw *Framework, opts ...BuildOption) (*ORPKW, error) {
+	o := resolveOpts(opts)
+	if fw == nil || rs == nil {
+		return nil, fmt.Errorf("core: ORPKW parts incomplete")
+	}
+	if fw.Dataset() != ds {
+		return nil, fmt.Errorf("core: framework was built over a different dataset")
+	}
+	if rs.Dim() != ds.Dim() || fw.PointDim() != ds.Dim() {
+		return nil, fmt.Errorf("core: rank space dim %d, framework dim %d, dataset dim %d disagree",
+			rs.Dim(), fw.PointDim(), ds.Dim())
+	}
+	ix := &ORPKW{ds: ds, rs: rs, fw: fw, fam: o.famFor(famORPKW), tracer: o.Tracer}
+	ix.fw.space.AuxWords += rs.SpaceWords()
+	return ix, nil
+}
+
+// NewSPKWFromParts assembles an SPKW around a reconstructed framework — the
+// open path for paged flat images (internal/flatio).
+func NewSPKWFromParts(ds *dataset.Dataset, fw *Framework, opts ...BuildOption) (*SPKW, error) {
+	o := resolveOpts(opts)
+	if fw == nil {
+		return nil, fmt.Errorf("core: SPKW parts incomplete")
+	}
+	if fw.Dataset() != ds {
+		return nil, fmt.Errorf("core: framework was built over a different dataset")
+	}
+	return &SPKW{ds: ds, fw: fw, fam: o.famFor(famLCKW), tracer: o.Tracer}, nil
+}

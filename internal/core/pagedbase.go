@@ -1,0 +1,675 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"kwsc/internal/bitpack"
+	"kwsc/internal/codec"
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+	"kwsc/internal/pager"
+)
+
+// PagedBase serves the entries of a KWCP2 snapshot checkpoint directly from
+// the file — mapped read-only by default, or through a bounded pread buffer
+// pool — so recovery can answer queries the moment the file is open instead
+// of after a full decode and index rebuild. It plugs into DynamicORPKW as
+// the immutable base layer beneath the Bentley–Saxe buckets: deletions of
+// base entries are tombstoned at the dynamic layer, and insertions go to the
+// buffer/buckets as usual (see BaseIndex).
+//
+// A query picks the rarest query keyword's bitpacked posting list, scans its
+// candidates, and verifies the remaining keywords against the candidate's
+// document and its point against the rectangle — O(min posting list) work,
+// the classic document-at-a-time plan. That is asymptotically weaker than
+// the ORPKW traversal the entries would support fully decoded, but it touches
+// only the pages the posting list and its candidates live on, which is the
+// out-of-core trade: bounded memory and instant start against more work per
+// query. A background-rebuilt bucket index supersedes the base at the next
+// full compaction into RAM (future work; today the base lives until restart).
+//
+// Structural metadata (vocabulary, posting-list and block directories,
+// handle and document offsets) is validated eagerly at open — O(vocabulary +
+// blocks + entries), no payload pages touched beyond those columns — so the
+// scan path can trust offsets without re-checking. Page content integrity is
+// the pager's job: every page is checksum-verified on first pin, and a
+// mismatch surfaces as an error wrapping pager.ErrChecksum.
+type PagedBase struct {
+	f    *pager.File
+	pool *pager.Pool
+
+	k, dim     int
+	count      int64
+	lastSeq    uint64
+	nextHandle int64
+
+	// Absolute byte offsets of the payload sections.
+	handlesOff, pointsOff, docStartOff, docWordsOff, wordsOff int64
+	docTotal, wordsN                                          int64
+
+	// Always-resident metadata columns (small: O(vocabulary + blocks)).
+	vocab  []uint32
+	lists  []bitpack.List
+	blocks []bitpack.Block
+
+	// Zero-copy typed columns, non-nil only when the file is mapped on a
+	// little-endian host; otherwise reads go through pager views.
+	mHandles  []int64
+	mPoints   []float64
+	mDocStart []int64
+	mDocWords []uint32
+	mWords    []uint64
+
+	closed atomic.Bool
+}
+
+// PagedBaseOptions configures OpenPagedBase.
+type PagedBaseOptions struct {
+	// CapPages bounds the resident pages of the pread buffer pool
+	// (0 selects the pager default). Only meaningful with NoMmap — a mapped
+	// file's residency belongs to the kernel.
+	CapPages int
+	// NoMmap forces the pread pool even where mmap is available: the
+	// bounded-memory serving mode for datasets larger than RAM.
+	NoMmap bool
+}
+
+// errBase tags structural corruption that page checksums cannot catch
+// (a well-formed file describing impossible offsets).
+func errBase(format string, args ...any) error {
+	return fmt.Errorf("core: paged base: "+format, args...)
+}
+
+// OpenPagedBase opens a snapshot-v2 checkpoint for in-place serving. The
+// returned base holds a pager reference on the file until Close.
+func OpenPagedBase(path string, o PagedBaseOptions) (*PagedBase, error) {
+	var popts []pager.OpenOption
+	if o.NoMmap {
+		popts = append(popts, pager.WithoutMmap())
+	}
+	f, err := pager.Open(path, popts...)
+	if err != nil {
+		return nil, err
+	}
+	b, err := newPagedBase(f, o.CapPages)
+	if err != nil {
+		f.Unref()
+		return nil, err
+	}
+	// A dropped base without Close must not pin the file (and, if retired,
+	// its disk space) forever.
+	runtime.SetFinalizer(b, func(b *PagedBase) { b.Close() })
+	return b, nil
+}
+
+func newPagedBase(f *pager.File, capPages int) (*PagedBase, error) {
+	c, err := codec.ParseContainer(f, f.Size())
+	if err != nil {
+		return nil, err
+	}
+	meta := codec.ParsePagedMeta(c.Meta)
+	if meta.Kind != codec.PagedKindSnapshot {
+		return nil, errBase("container kind %d is not a snapshot", meta.Kind)
+	}
+	if meta.K < 2 || meta.K > 64 || meta.Dim == 0 || meta.Dim > 64 || meta.Count > 1<<31 {
+		return nil, errBase("implausible meta %+v", meta)
+	}
+	b := &PagedBase{
+		f:          f,
+		pool:       pager.NewPool(f, capPages, c.PageCRCs),
+		k:          int(meta.K),
+		dim:        int(meta.Dim),
+		count:      int64(meta.Count),
+		lastSeq:    meta.LastSeq,
+		nextHandle: int64(meta.NextHandle),
+	}
+	span := func(id uint32, want int64) (int64, error) {
+		off, n, ok := c.Section(id)
+		if !ok && want == 0 {
+			return 0, nil
+		}
+		if !ok || (want >= 0 && n != want) {
+			return 0, errBase("section %d is %d bytes, want %d", id, n, want)
+		}
+		return off, nil
+	}
+	if b.handlesOff, err = span(codec.SecHandles, 8*b.count); err != nil {
+		return nil, err
+	}
+	if b.pointsOff, err = span(codec.SecPoints, 8*b.count*int64(b.dim)); err != nil {
+		return nil, err
+	}
+	if b.docStartOff, err = span(codec.SecDocStart, 8*(b.count+1)); err != nil {
+		return nil, err
+	}
+
+	// Decode the resident metadata columns through the pool so their pages
+	// are checksum-verified exactly once, here.
+	vocabB, err := b.readSection(c, codec.SecVocab)
+	if err != nil {
+		return nil, err
+	}
+	listsB, err := b.readSection(c, codec.SecPostLists)
+	if err != nil {
+		return nil, err
+	}
+	blocksB, err := b.readSection(c, codec.SecPostBlocks)
+	if err != nil {
+		return nil, err
+	}
+	if len(vocabB)%4 != 0 || len(listsB)%12 != 0 || len(blocksB)%16 != 0 {
+		return nil, errBase("metadata section not a whole number of records")
+	}
+	b.vocab = leU32s(vocabB)
+	if b.lists, err = codec.DecodePostLists(leI32s(listsB)); err != nil {
+		return nil, err
+	}
+	if b.blocks, err = codec.DecodePostBlocks(leI32s(blocksB)); err != nil {
+		return nil, err
+	}
+	_, wordsLen, _ := c.Section(codec.SecPostWords)
+	if b.wordsOff, err = span(codec.SecPostWords, wordsLen); err != nil {
+		return nil, err
+	}
+	if wordsLen%8 != 0 {
+		return nil, errBase("posting payload not a whole number of words")
+	}
+	b.wordsN = wordsLen / 8
+	if err := b.validateStructure(c); err != nil {
+		return nil, err
+	}
+	if f.Mapped() && pager.CanCast() && b.count > 0 {
+		raw := f.Bytes()
+		sec := func(off, n int64) []byte { return raw[off : off+n] }
+		b.mHandles = pager.CastI64(sec(b.handlesOff, 8*b.count))
+		b.mPoints = pager.CastF64(sec(b.pointsOff, 8*b.count*int64(b.dim)))
+		b.mDocStart = pager.CastI64(sec(b.docStartOff, 8*(b.count+1)))
+		b.mDocWords = pager.CastU32(sec(b.docWordsOff, 4*b.docTotal))
+		b.mWords = pager.CastU64(sec(b.wordsOff, 8*b.wordsN))
+		// All casts must land together: the readers key off mHandles.
+		if b.mHandles == nil || b.mPoints == nil || b.mDocStart == nil ||
+			b.mDocWords == nil || (b.wordsN > 0 && b.mWords == nil) {
+			b.mHandles, b.mPoints, b.mDocStart, b.mDocWords, b.mWords = nil, nil, nil, nil, nil
+		}
+	}
+	if b.mHandles != nil {
+		// The cast readers bypass the pool, so lazy verify-on-first-pin never
+		// fires for them; checksum every page once here instead. Still far
+		// cheaper than a decode — one crc32c pass, no parsing, no build.
+		for p := int64(0); p < f.NumPages(); p++ {
+			fr, err := b.pool.Pin(p)
+			if err != nil {
+				return nil, err
+			}
+			fr.Unpin()
+		}
+	}
+	return b, nil
+}
+
+// leU32s and leI32s decode whole little-endian columns (the resident
+// metadata sections, read once at open).
+func leU32s(b []byte) []uint32 {
+	v := make([]uint32, len(b)/4)
+	for i := range v {
+		v[i] = uint32(b[4*i]) | uint32(b[4*i+1])<<8 | uint32(b[4*i+2])<<16 | uint32(b[4*i+3])<<24
+	}
+	return v
+}
+
+func leI32s(b []byte) []int32 {
+	u := leU32s(b)
+	v := make([]int32, len(u))
+	for i := range u {
+		v[i] = int32(u[i])
+	}
+	return v
+}
+
+// readSection reads a whole section through the pool (checksum-verifying
+// its pages) into a fresh buffer.
+func (b *PagedBase) readSection(c *codec.Container, id uint32) ([]byte, error) {
+	off, n, ok := c.Section(id)
+	if !ok || n == 0 {
+		return nil, nil
+	}
+	v, err := pager.NewView(b.pool, off, n)
+	if err != nil {
+		return nil, err
+	}
+	defer v.Release()
+	buf := make([]byte, n)
+	v.Read(0, buf)
+	if err := v.Err(); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// validateStructure checks every offset-bearing column the scan path will
+// trust: handle order, document offsets, vocabulary order, and posting
+// list/block geometry. Runs once at open; touches only those columns.
+func (b *PagedBase) validateStructure(c *codec.Container) error {
+	// Handles: strictly increasing, below the watermark.
+	hv, err := pager.NewView(b.pool, b.handlesOff, 8*b.count)
+	if err != nil {
+		return err
+	}
+	prev := int64(-1)
+	for i := int64(0); i < b.count; i++ {
+		h := hv.I64(8 * i)
+		if h <= prev {
+			hv.Release()
+			return errBase("handles not strictly increasing at index %d", i)
+		}
+		prev = h
+	}
+	if err := hv.Err(); err != nil {
+		hv.Release()
+		return err
+	}
+	hv.Release()
+	if b.count > 0 && prev >= b.nextHandle {
+		return errBase("handle %d at or past watermark %d", prev, b.nextHandle)
+	}
+
+	// Document offsets: zero-based, strictly increasing (documents are
+	// non-empty), consistent with the words section length.
+	dv, err := pager.NewView(b.pool, b.docStartOff, 8*(b.count+1))
+	if err != nil {
+		return err
+	}
+	defer dv.Release()
+	if dv.I64(0) != 0 {
+		return errBase("document offsets do not start at 0")
+	}
+	last := int64(0)
+	for i := int64(1); i <= b.count; i++ {
+		s := dv.I64(8 * i)
+		if s <= last {
+			return errBase("empty or out-of-order document at index %d", i-1)
+		}
+		last = s
+	}
+	if err := dv.Err(); err != nil {
+		return err
+	}
+	b.docTotal = last
+	if b.count == 0 {
+		b.docTotal = 0
+	}
+	var dwWant int64 = 4 * b.docTotal
+	off, n, ok := c.Section(codec.SecDocWords)
+	if b.docTotal == 0 {
+		if ok && n != 0 {
+			return errBase("document words present for an empty snapshot")
+		}
+	} else if !ok || n != dwWant {
+		return errBase("document words sized %d, offsets claim %d", n, dwWant)
+	}
+	b.docWordsOff = off
+
+	// Vocabulary and posting geometry.
+	if len(b.lists) != len(b.vocab) {
+		return errBase("%d posting lists for %d keywords", len(b.lists), len(b.vocab))
+	}
+	var total int64
+	for i, l := range b.lists {
+		if i > 0 && b.vocab[i] <= b.vocab[i-1] {
+			return errBase("vocabulary not sorted at entry %d", i)
+		}
+		if l.Block < 0 || l.NumBlocks < 0 || int64(l.Block)+int64(l.NumBlocks) > int64(len(b.blocks)) {
+			return errBase("posting list %d blocks out of range", i)
+		}
+		var n int64
+		for _, blk := range b.blocks[l.Block : l.Block+l.NumBlocks] {
+			if blk.N < 1 || blk.N > bitpack.BlockSize || blk.W > 32 {
+				return errBase("posting block geometry invalid in list %d", i)
+			}
+			need := (int64(blk.N-1)*int64(blk.W) + 63) / 64
+			if blk.Off < 0 || int64(blk.Off)+need > b.wordsN {
+				return errBase("posting block payload out of range in list %d", i)
+			}
+			if blk.First < 0 || int64(blk.Max) >= b.count || blk.First > blk.Max {
+				return errBase("posting block ids outside [0,%d) in list %d", b.count, i)
+			}
+			n += int64(blk.N)
+		}
+		if n != int64(l.N) {
+			return errBase("posting list %d claims %d values, blocks hold %d", i, l.N, n)
+		}
+		total += n
+	}
+	if total != b.docTotal {
+		return errBase("%d postings for %d document words", total, b.docTotal)
+	}
+	return nil
+}
+
+// Close releases the pager reference. Outstanding queries must have
+// drained: over a mapped file their reads would fault after the unmap.
+func (b *PagedBase) Close() error {
+	if b.closed.Swap(true) {
+		return nil
+	}
+	runtime.SetFinalizer(b, nil)
+	b.pool.Close()
+	return b.f.Unref()
+}
+
+// Path returns the checkpoint file the base serves from.
+func (b *PagedBase) Path() string { return b.f.Path() }
+
+// Len returns the number of entries in the base (tombstones at the dynamic
+// layer are not subtracted here).
+func (b *PagedBase) Len() int { return int(b.count) }
+
+// K returns the query keyword arity recorded in the checkpoint.
+func (b *PagedBase) K() int { return b.k }
+
+// Dim returns the point dimensionality recorded in the checkpoint.
+func (b *PagedBase) Dim() int { return b.dim }
+
+// LastSeq returns the WAL sequence the checkpoint covers.
+func (b *PagedBase) LastSeq() uint64 { return b.lastSeq }
+
+// NextHandle returns the handle watermark recorded in the checkpoint.
+func (b *PagedBase) NextHandle() int64 { return b.nextHandle }
+
+// Pool exposes the buffer pool for instrumentation (resident pages, cap).
+func (b *PagedBase) Pool() *pager.Pool { return b.pool }
+
+// handleAt returns the handle of entry i.
+func (b *PagedBase) handleAt(v *pager.View, i int64) int64 {
+	if b.mHandles != nil {
+		return b.mHandles[i]
+	}
+	return v.I64(8 * i)
+}
+
+// Has reports whether handle names an entry of the base, in O(log count)
+// page-pinned reads.
+func (b *PagedBase) Has(handle int64) bool {
+	if b.count == 0 {
+		return false
+	}
+	if b.mHandles != nil {
+		i := sort.Search(int(b.count), func(i int) bool { return b.mHandles[i] >= handle })
+		return i < int(b.count) && b.mHandles[i] == handle
+	}
+	v, err := pager.NewView(b.pool, b.handlesOff, 8*b.count)
+	if err != nil {
+		return false
+	}
+	defer v.Release()
+	lo, hi := int64(0), b.count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.I64(8*mid) < handle {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return v.Err() == nil && lo < b.count && v.I64(8*lo) == handle
+}
+
+// listFor returns the posting list of keyword w, if present.
+func (b *PagedBase) listFor(w dataset.Keyword) (bitpack.List, bool) {
+	i := sort.Search(len(b.vocab), func(i int) bool { return b.vocab[i] >= w })
+	if i >= len(b.vocab) || b.vocab[i] != w {
+		return bitpack.List{}, false
+	}
+	return b.lists[i], true
+}
+
+// baseReader bundles the per-query views and scratch buffers of one scan.
+type baseReader struct {
+	b                  *PagedBase
+	hv, pv, dv, wv, ww *pager.View
+	doc                []dataset.Keyword
+	pt                 geom.Point
+	words              []uint64
+	vals               []int32
+}
+
+func (b *PagedBase) newReader() (*baseReader, error) {
+	r := &baseReader{b: b}
+	if b.mHandles != nil {
+		return r, nil
+	}
+	mk := func(off, n int64) (*pager.View, error) { return pager.NewView(b.pool, off, n) }
+	var err error
+	if r.hv, err = mk(b.handlesOff, 8*b.count); err != nil {
+		return nil, err
+	}
+	if r.pv, err = mk(b.pointsOff, 8*b.count*int64(b.dim)); err != nil {
+		r.release()
+		return nil, err
+	}
+	if r.dv, err = mk(b.docStartOff, 8*(b.count+1)); err != nil {
+		r.release()
+		return nil, err
+	}
+	if b.docTotal > 0 {
+		if r.wv, err = mk(b.docWordsOff, 4*b.docTotal); err != nil {
+			r.release()
+			return nil, err
+		}
+	}
+	if b.wordsN > 0 {
+		if r.ww, err = mk(b.wordsOff, 8*b.wordsN); err != nil {
+			r.release()
+			return nil, err
+		}
+	}
+	r.pt = make(geom.Point, b.dim)
+	return r, nil
+}
+
+func (r *baseReader) release() {
+	for _, v := range []*pager.View{r.hv, r.pv, r.dv, r.wv, r.ww} {
+		if v != nil {
+			v.Release()
+		}
+	}
+}
+
+// err returns the first sticky error across the reader's views.
+func (r *baseReader) err() error {
+	for _, v := range []*pager.View{r.hv, r.pv, r.dv, r.wv, r.ww} {
+		if v != nil && v.Err() != nil {
+			return v.Err()
+		}
+	}
+	return nil
+}
+
+// decodeBlock appends block blk's candidate ids to r.vals (reset first).
+func (r *baseReader) decodeBlock(blk bitpack.Block) error {
+	r.vals = r.vals[:0]
+	if r.b.mWords != nil {
+		arena := bitpack.FromRaw(r.b.mWords, nil)
+		r.vals = arena.DecodeBlock(blk, r.vals)
+		return nil
+	}
+	need := (int64(blk.N-1)*int64(blk.W) + 63) / 64
+	if cap(r.words) < int(need) {
+		r.words = make([]uint64, need, need+8)
+	}
+	r.words = r.words[:need]
+	for i := int64(0); i < need; i++ {
+		r.words[i] = r.ww.U64(8 * (int64(blk.Off) + i))
+	}
+	if err := r.ww.Err(); err != nil {
+		return err
+	}
+	local := blk
+	local.Off = 0
+	arena := bitpack.FromRaw(r.words, nil)
+	r.vals = arena.DecodeBlock(local, r.vals)
+	return nil
+}
+
+// inRect reports whether entry i's point lies in q.
+func (r *baseReader) inRect(q *geom.Rect, i int64) bool {
+	if r.b.mPoints != nil {
+		p := r.b.mPoints[i*int64(r.b.dim) : (i+1)*int64(r.b.dim)]
+		for j := range p {
+			if p[j] < q.Lo[j] || p[j] > q.Hi[j] {
+				return false
+			}
+		}
+		return true
+	}
+	for j := 0; j < r.b.dim; j++ {
+		c := r.pv.F64(8 * (i*int64(r.b.dim) + int64(j)))
+		if c < q.Lo[j] || c > q.Hi[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// docOf returns entry i's document (mapped subslice or scratch copy).
+func (r *baseReader) docOf(i int64) []dataset.Keyword {
+	if r.b.mDocWords != nil {
+		return r.b.mDocWords[r.b.mDocStart[i]:r.b.mDocStart[i+1]]
+	}
+	lo, hi := r.dv.I64(8*i), r.dv.I64(8*(i+1))
+	if hi <= lo || r.dv.Err() != nil {
+		return nil
+	}
+	n := hi - lo
+	if cap(r.doc) < int(n) {
+		r.doc = make([]dataset.Keyword, n, n+16)
+	}
+	r.doc = r.doc[:n]
+	for j := int64(0); j < n; j++ {
+		r.doc[j] = r.wv.U32(4 * (lo + j))
+	}
+	return r.doc
+}
+
+// docHasAllSorted verifies membership of every keyword in ws by binary
+// search over the (sorted) document.
+func docHasAllSorted(doc []dataset.Keyword, ws []dataset.Keyword) bool {
+	for _, w := range ws {
+		i := sort.Search(len(doc), func(i int) bool { return doc[i] >= w })
+		if i >= len(doc) || doc[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Query reports (handle, object) for every base entry in q whose document
+// contains all k keywords. In pread mode the reported object's Point and Doc
+// are scratch, valid only for the duration of the callback; in mapped mode
+// they alias the mapping and remain valid until Close. Tombstone filtering
+// is the caller's job (the dynamic layer owns the tombstone set).
+func (b *PagedBase) Query(q *geom.Rect, ws []dataset.Keyword, opts QueryOpts, report func(handle int64, obj *dataset.Object)) (st QueryStats, err error) {
+	if len(ws) != b.k {
+		return st, fmt.Errorf("%w: query carries %d keywords but the base holds k=%d", ErrInvalidQuery, len(ws), b.k)
+	}
+	if err := dataset.ValidateKeywords(ws); err != nil {
+		return st, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
+	}
+	if err := validateRect(q, b.dim); err != nil {
+		return st, err
+	}
+	opts = opts.normalized()
+	if b.count == 0 {
+		return st, nil
+	}
+	// Drive the scan off the rarest keyword's posting list; any keyword
+	// absent from the vocabulary empties the result.
+	var drive bitpack.List
+	for i, w := range ws {
+		l, ok := b.listFor(w)
+		if !ok {
+			return st, nil
+		}
+		if i == 0 || l.N < drive.N {
+			drive = l
+		}
+	}
+	r, err := b.newReader()
+	if err != nil {
+		return st, err
+	}
+	defer r.release()
+	ps := newPolState(opts.Policy)
+	for _, blk := range b.blocks[drive.Block : drive.Block+drive.NumBlocks] {
+		if err := r.decodeBlock(blk); err != nil {
+			return st, err
+		}
+		for _, id := range r.vals {
+			i := int64(id)
+			st.Ops++
+			st.MatScanned++
+			if opts.Budget > 0 && st.Ops > opts.Budget {
+				st.BudgetHit, st.Truncated = true, true
+				return st, r.err()
+			}
+			if err := ps.check(&st, st.Ops); err != nil {
+				return st, err
+			}
+			if !r.inRect(q, i) {
+				continue
+			}
+			doc := r.docOf(i)
+			if !docHasAllSorted(doc, ws) {
+				continue
+			}
+			if err := r.err(); err != nil {
+				return st, err
+			}
+			if opts.Limit > 0 && st.Reported >= opts.Limit {
+				st.Truncated = true
+				return st, nil
+			}
+			obj := dataset.Object{Point: r.pointOf(i), Doc: doc}
+			report(b.handleAt(r.hv, i), &obj)
+			st.Reported++
+		}
+	}
+	return st, r.err()
+}
+
+// pointOf returns entry i's point (mapped subslice or scratch copy).
+func (r *baseReader) pointOf(i int64) geom.Point {
+	if r.b.mPoints != nil {
+		return r.b.mPoints[i*int64(r.b.dim) : (i+1)*int64(r.b.dim)]
+	}
+	for j := 0; j < r.b.dim; j++ {
+		r.pt[j] = r.pv.F64(8 * (i*int64(r.b.dim) + int64(j)))
+	}
+	return r.pt
+}
+
+// Entries decodes every base entry — the checkpoint-writing path, which is
+// allowed to touch the whole file.
+func (b *PagedBase) Entries() ([]DynEntry, error) {
+	r, err := b.newReader()
+	if err != nil {
+		return nil, err
+	}
+	defer r.release()
+	out := make([]DynEntry, 0, b.count)
+	for i := int64(0); i < b.count; i++ {
+		doc := r.docOf(i)
+		obj := dataset.Object{
+			Point: append(geom.Point(nil), r.pointOf(i)...),
+			Doc:   append([]dataset.Keyword(nil), doc...),
+		}
+		out = append(out, DynEntry{Handle: b.handleAt(r.hv, i), Obj: obj})
+	}
+	if err := r.err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,49 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+
+	"kwsc/internal/bits"
+)
+
+// NewPrenormalized builds a dataset from objects whose documents are already
+// in canonical form (sorted, strictly increasing). Unlike New it never
+// writes to the objects — the constructor used when points and documents
+// alias a read-only snapshot mapping, where NormalizeDoc's in-place sort
+// would fault. Non-canonical documents are rejected instead of repaired.
+func NewPrenormalized(objs []Object) (*Dataset, error) {
+	if len(objs) == 0 {
+		return nil, ErrEmpty
+	}
+	dim := len(objs[0].Point)
+	if dim == 0 {
+		return nil, errors.New("dataset: zero-dimensional points")
+	}
+	ds := &Dataset{objs: objs, dim: dim}
+	maxW := Keyword(0)
+	for i := range objs {
+		o := &objs[i]
+		if len(o.Point) != dim {
+			return nil, fmt.Errorf("dataset: object %d has dimension %d, want %d", i, len(o.Point), dim)
+		}
+		if len(o.Doc) == 0 {
+			return nil, fmt.Errorf("dataset: object %d has an empty document", i)
+		}
+		for j := 1; j < len(o.Doc); j++ {
+			if o.Doc[j] <= o.Doc[j-1] {
+				return nil, fmt.Errorf("dataset: object %d document not strictly increasing", i)
+			}
+		}
+		ds.n += int64(len(o.Doc))
+		if last := o.Doc[len(o.Doc)-1]; last >= maxW {
+			maxW = last + 1
+		}
+	}
+	ds.w = int(maxW)
+	ds.docSets = make([]*bits.U32Set, len(objs))
+	for i := range objs {
+		ds.docSets[i] = bits.NewU32Set(objs[i].Doc)
+	}
+	return ds, nil
+}

@@ -111,3 +111,18 @@ func (rs *RankSpace) SpaceWords() int64 {
 	}
 	return s
 }
+
+// Tables exposes the conversion tables for serialization: per-dimension
+// coordinate values in rank order and per-dimension object ranks. The
+// returned slices alias the RankSpace and must be treated as read-only.
+func (rs *RankSpace) Tables() (sorted [][]float64, ranks [][]int32) {
+	return rs.sorted, rs.ranks
+}
+
+// RankSpaceFromTables reassembles a RankSpace from serialized tables (the
+// inverse of Tables), e.g. columns of a paged flat-index image. Callers own
+// validation of the tables' mutual consistency; each dimension must carry
+// one value and one rank per object.
+func RankSpaceFromTables(dim int, sorted [][]float64, ranks [][]int32) *RankSpace {
+	return &RankSpace{dim: dim, sorted: sorted, ranks: ranks}
+}

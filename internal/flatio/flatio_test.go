@@ -1,0 +1,291 @@
+package flatio
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"kwsc/internal/codec"
+	"kwsc/internal/core"
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+	"kwsc/internal/pager"
+)
+
+// testDataset builds a deterministic dataset: clustered points (so tree
+// nodes at every depth see both covered and crossing query cells) and docs
+// drawn from a small vocabulary with skewed frequencies (so some keywords go
+// large and others stay materialized).
+func testDataset(t *testing.T, seed int64, n, dim int) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]dataset.Object, n)
+	for i := range objs {
+		p := make(geom.Point, dim)
+		for j := range p {
+			p[j] = float64(rng.Intn(40)) + rng.Float64()
+		}
+		nw := 2 + rng.Intn(4)
+		doc := make([]dataset.Keyword, nw)
+		for j := range doc {
+			// Zipf-ish: low keyword ids are frequent.
+			doc[j] = dataset.Keyword(rng.Intn(3 + rng.Intn(14)))
+		}
+		doc = dataset.NormalizeDoc(doc)
+		for len(doc) < 2 {
+			doc = dataset.NormalizeDoc(append(doc, dataset.Keyword(rng.Intn(17))))
+		}
+		objs[i] = dataset.Object{Point: p, Doc: doc}
+	}
+	ds, err := dataset.New(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func randRect(rng *rand.Rand, dim int) *geom.Rect {
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	for j := range lo {
+		a, b := rng.Float64()*41, rng.Float64()*41
+		if a > b {
+			a, b = b, a
+		}
+		lo[j], hi[j] = a, b
+	}
+	return geom.NewRect(lo, hi)
+}
+
+func randKeywords(rng *rand.Rand, k int) []dataset.Keyword {
+	for {
+		ws := make([]dataset.Keyword, k)
+		for i := range ws {
+			ws[i] = dataset.Keyword(rng.Intn(17))
+		}
+		if len(dataset.NormalizeDoc(append([]dataset.Keyword(nil), ws...))) == k {
+			return ws
+		}
+	}
+}
+
+// randOpts exercises every stop mechanism: plain, Limit, Budget, and the
+// error-surfacing Policy bounds.
+func randOpts(rng *rand.Rand) core.QueryOpts {
+	switch rng.Intn(5) {
+	case 0:
+		return core.QueryOpts{Limit: 1 + rng.Intn(4)}
+	case 1:
+		return core.QueryOpts{Budget: 1 + int64(rng.Intn(40))}
+	case 2:
+		return core.QueryOpts{Policy: core.ExecPolicy{NodeBudget: 1 + int64(rng.Intn(30))}}
+	case 3:
+		return core.QueryOpts{Policy: core.ExecPolicy{MaxResults: 1 + rng.Intn(4)}}
+	default:
+		return core.QueryOpts{}
+	}
+}
+
+// openBothORPKW saves ix to two files (the pager registry is per-path, so
+// each access mode needs its own path) and opens one mapped, one pread.
+func openBothORPKW(t *testing.T, ix *core.ORPKW) map[string]*core.ORPKW {
+	t.Helper()
+	dir := t.TempDir()
+	out := map[string]*core.ORPKW{}
+	for name, o := range map[string]Options{
+		"mmap":  {},
+		"pread": {NoMmap: true},
+	} {
+		path := filepath.Join(dir, name+".kwflat")
+		if err := SaveFileORPKW(path, ix); err != nil {
+			t.Fatal(err)
+		}
+		opened, h, err := OpenORPKW(path, o)
+		if err != nil {
+			t.Fatalf("OpenORPKW(%s): %v", name, err)
+		}
+		t.Cleanup(func() {
+			if err := h.Close(); err != nil {
+				t.Errorf("close %s: %v", name, err)
+			}
+		})
+		out[name] = opened
+	}
+	return out
+}
+
+// TestORPKWPagedMatchesInRAM is the byte-identical property: for a shared
+// query stream with every stop mechanism in play, the paged index (both
+// access modes) must return the same ids in the same order, the same
+// QueryStats, and the same error as the index it was saved from.
+func TestORPKWPagedMatchesInRAM(t *testing.T) {
+	ds := testDataset(t, 1, 600, 2)
+	built, err := core.BuildORPKW(ds, 2, core.WithFlatLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened := openBothORPKW(t, built)
+
+	rng := rand.New(rand.NewSource(2))
+	for qi := 0; qi < 120; qi++ {
+		q := randRect(rng, 2)
+		ws := randKeywords(rng, 2)
+		opts := randOpts(rng)
+		wantIDs, wantSt, wantErr := built.Collect(q, ws, opts)
+		for name, ix := range opened {
+			gotIDs, gotSt, gotErr := ix.Collect(q, ws, opts)
+			if !reflect.DeepEqual(gotIDs, wantIDs) {
+				t.Fatalf("query %d (%s): ids %v, want %v", qi, name, gotIDs, wantIDs)
+			}
+			if gotSt != wantSt {
+				t.Fatalf("query %d (%s): stats %+v, want %+v", qi, name, gotSt, wantSt)
+			}
+			if !errors.Is(gotErr, wantErr) && !errors.Is(wantErr, gotErr) {
+				t.Fatalf("query %d (%s): err %v, want %v", qi, name, gotErr, wantErr)
+			}
+		}
+	}
+
+	// The reconstructed index also agrees on the structural accessors the
+	// space audits and experiment tables read.
+	for name, ix := range opened {
+		if ix.K() != built.K() {
+			t.Fatalf("%s: K = %d, want %d", name, ix.K(), built.K())
+		}
+		bf, of := built.Framework(), ix.Framework()
+		if of.NumNodes() != bf.NumNodes() || of.Height() != bf.Height() ||
+			of.MaxPivots() != bf.MaxPivots() || of.PointDim() != bf.PointDim() {
+			t.Fatalf("%s: framework shape diverged", name)
+		}
+	}
+}
+
+// TestSPKWPagedMatchesInRAM is the same property for SPKW over a Box
+// splitter (d=3 exercises the non-planar path; halfspace queries exercise
+// the convex, non-rectangular Relate code).
+func TestSPKWPagedMatchesInRAM(t *testing.T) {
+	ds := testDataset(t, 3, 400, 3)
+	built, err := core.BuildSPKW(ds, core.SPKWConfig{K: 2, Build: core.BuildOpts{Flat: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	opened := map[string]*core.SPKW{}
+	for name, o := range map[string]Options{
+		"mmap":  {},
+		"pread": {NoMmap: true},
+	} {
+		path := filepath.Join(dir, name+".kwflat")
+		if err := SaveFileSPKW(path, built); err != nil {
+			t.Fatal(err)
+		}
+		ix, h, err := OpenSPKW(path, o)
+		if err != nil {
+			t.Fatalf("OpenSPKW(%s): %v", name, err)
+		}
+		defer h.Close()
+		opened[name] = ix
+	}
+
+	rng := rand.New(rand.NewSource(4))
+	for qi := 0; qi < 80; qi++ {
+		hs := []geom.Halfspace{
+			{Coef: []float64{1, rng.Float64() - 0.5, rng.Float64() - 0.5}, Bound: rng.Float64() * 40},
+			{Coef: []float64{-1, rng.Float64() - 0.5, rng.Float64() - 0.5}, Bound: -rng.Float64() * 10},
+			{Coef: []float64{rng.Float64() - 0.5, 1, 0}, Bound: rng.Float64() * 40},
+		}
+		ws := randKeywords(rng, 2)
+		opts := randOpts(rng)
+		wantIDs, wantSt, wantErr := built.Collect(hs, ws, opts)
+		for name, ix := range opened {
+			gotIDs, gotSt, gotErr := ix.Collect(hs, ws, opts)
+			if !reflect.DeepEqual(gotIDs, wantIDs) {
+				t.Fatalf("query %d (%s): ids %v, want %v", qi, name, gotIDs, wantIDs)
+			}
+			if gotSt != wantSt {
+				t.Fatalf("query %d (%s): stats %+v, want %+v", qi, name, gotSt, wantSt)
+			}
+			if !errors.Is(gotErr, wantErr) && !errors.Is(wantErr, gotErr) {
+				t.Fatalf("query %d (%s): err %v, want %v", qi, name, gotErr, wantErr)
+			}
+		}
+	}
+}
+
+// TestSaveSPKWRejectsWillard: the default d=2 substrate has polygon cells
+// with no serialized form — saving must fail cleanly, not panic.
+func TestSaveSPKWRejectsWillard(t *testing.T) {
+	ds := testDataset(t, 5, 120, 2)
+	ix, err := core.BuildSPKW(ds, core.SPKWConfig{K: 2, Build: core.BuildOpts{Flat: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFileSPKW(filepath.Join(t.TempDir(), "w.kwflat"), ix); err == nil {
+		t.Fatal("saving a Willard2D index succeeded; its cells have no serialized form")
+	}
+}
+
+// TestSaveRequiresFlatLayout: a pointer-tree index has nothing to export.
+func TestSaveRequiresFlatLayout(t *testing.T) {
+	ds := testDataset(t, 6, 80, 2)
+	ix, err := core.BuildORPKW(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFileORPKW(filepath.Join(t.TempDir(), "p.kwflat"), ix); err == nil {
+		t.Fatal("saving a non-flat index succeeded")
+	}
+}
+
+// TestOpenRefusesDamage flips one byte in every section in turn and demands
+// the open fail — the page checksums cover the entire payload, so any
+// corruption is a checksum error, and a truncated file is refused at parse.
+func TestOpenRefusesDamage(t *testing.T) {
+	ds := testDataset(t, 7, 300, 2)
+	built, err := core.BuildORPKW(ds, 2, core.WithFlatLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.kwflat")
+	if err := SaveFileORPKW(clean, built); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, off := range []int64{
+		int64(len(raw)) / 3, int64(len(raw)) / 2, int64(len(raw)) - 9,
+	} {
+		bad := filepath.Join(dir, "bad"+string(rune('a'+i))+".kwflat")
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0x40
+		if err := os.WriteFile(bad, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := OpenORPKW(bad, Options{})
+		if err == nil {
+			t.Fatalf("open with byte %d flipped succeeded", off)
+		}
+		if !errors.Is(err, pager.ErrChecksum) && !errors.Is(err, codec.ErrCorrupt) {
+			t.Fatalf("open with byte %d flipped: err %v, want checksum or corruption", off, err)
+		}
+	}
+
+	trunc := filepath.Join(dir, "trunc.kwflat")
+	if err := os.WriteFile(trunc, raw[:len(raw)-pager.PageSize], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenORPKW(trunc, Options{}); err == nil {
+		t.Fatal("open of a truncated container succeeded")
+	}
+
+	// Kind confusion: an ORPKW image is not an SPKW image.
+	if _, _, err := OpenSPKW(clean, Options{}); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("OpenSPKW of an ORPKW image: err %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,260 @@
+package flatio
+
+import (
+	"fmt"
+
+	"kwsc/internal/codec"
+	"kwsc/internal/core"
+	"kwsc/internal/dataset"
+	"kwsc/internal/geom"
+	"kwsc/internal/pager"
+)
+
+// OpenORPKW opens a container written by SaveORPKW and returns a
+// query-ready index plus the handle that owns the file reference. Build
+// options tune observability only (core.WithTracer, core.NoObs); nothing is
+// rebuilt. On failure the file reference is released.
+func OpenORPKW(path string, o Options, opts ...core.BuildOption) (*core.ORPKW, *Handle, error) {
+	f, c, err := openContainer(path, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix, err := openORPKWFrom(f, c, opts)
+	if err != nil {
+		f.Unref()
+		return nil, nil, err
+	}
+	return ix, &Handle{f: f}, nil
+}
+
+// OpenSPKW opens a container written by SaveSPKW.
+func OpenSPKW(path string, o Options, opts ...core.BuildOption) (*core.SPKW, *Handle, error) {
+	f, c, err := openContainer(path, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix, err := openSPKWFrom(f, c, opts)
+	if err != nil {
+		f.Unref()
+		return nil, nil, err
+	}
+	return ix, &Handle{f: f}, nil
+}
+
+func openORPKWFrom(f *pager.File, c *codec.Container, opts []core.BuildOption) (*core.ORPKW, error) {
+	meta := codec.ParsePagedMeta(c.Meta)
+	if meta.Kind != codec.PagedKindFlatORPKW {
+		return nil, fmt.Errorf("%w: container kind %d is not a flat ORPKW image", codec.ErrCorrupt, meta.Kind)
+	}
+	sr := newSecReader(c, f)
+	ds, a, err := loadCommon(sr, meta)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := loadRankSpace(sr, ds)
+	if err != nil {
+		return nil, err
+	}
+	fw, err := core.NewFrameworkFromFlat(ds, a)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewORPKWFromParts(ds, rs, fw, opts...)
+}
+
+func openSPKWFrom(f *pager.File, c *codec.Container, opts []core.BuildOption) (*core.SPKW, error) {
+	meta := codec.ParsePagedMeta(c.Meta)
+	if meta.Kind != codec.PagedKindFlatSPKW {
+		return nil, fmt.Errorf("%w: container kind %d is not a flat SPKW image", codec.ErrCorrupt, meta.Kind)
+	}
+	sr := newSecReader(c, f)
+	ds, a, err := loadCommon(sr, meta)
+	if err != nil {
+		return nil, err
+	}
+	fw, err := core.NewFrameworkFromFlat(ds, a)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSPKWFromParts(ds, fw, opts...)
+}
+
+// loadCommon reconstructs the dataset and the flat arena columns shared by
+// both index kinds. The dataset's points and documents alias the mapping
+// when zero-copy reads are in effect — dataset.NewPrenormalized never
+// mutates them, which is what makes PROT_READ aliasing safe.
+func loadCommon(sr *secReader, meta codec.PagedMeta) (*dataset.Dataset, *core.FlatArenas, error) {
+	if meta.Dim < 1 || meta.Dim > 64 {
+		return nil, nil, fmt.Errorf("%w: flat image dimension %d", codec.ErrCorrupt, meta.Dim)
+	}
+	if meta.K < 2 || meta.K > 64 {
+		return nil, nil, fmt.Errorf("%w: flat image arity %d", codec.ErrCorrupt, meta.K)
+	}
+	if meta.Count < 1 || meta.Count > 1<<31 {
+		return nil, nil, fmt.Errorf("%w: flat image object count %d", codec.ErrCorrupt, meta.Count)
+	}
+	n, dim := int(meta.Count), int(meta.Dim)
+
+	fm, err := sr.u64s(codec.SecFlatMeta, "flat meta")
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(fm) != 3 {
+		return nil, nil, fmt.Errorf("%w: flat meta section has %d values, want 3", codec.ErrCorrupt, len(fm))
+	}
+	if fm[1] < 1 || fm[1] > 64 || fm[2] < 1 || fm[2] > 1<<31 {
+		return nil, nil, fmt.Errorf("%w: flat meta pdim %d / nodes %d out of range", codec.ErrCorrupt, fm[1], fm[2])
+	}
+	nn := int(fm[2])
+
+	// Dataset image.
+	points, err := sr.f64s(codec.SecFlatPoints, "points")
+	if err != nil {
+		return nil, nil, err
+	}
+	docStart, err := sr.i64s(codec.SecFlatDocStart, "document offsets")
+	if err != nil {
+		return nil, nil, err
+	}
+	docWords, err := sr.u32s(codec.SecFlatDocWords, "document words")
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(points) != n*dim {
+		return nil, nil, fmt.Errorf("%w: %d point coordinates for %d objects of dimension %d",
+			codec.ErrCorrupt, len(points), n, dim)
+	}
+	if len(docStart) != n+1 || docStart[0] != 0 || docStart[n] != int64(len(docWords)) {
+		return nil, nil, fmt.Errorf("%w: document offsets malformed", codec.ErrCorrupt)
+	}
+	objs := make([]dataset.Object, n)
+	for i := 0; i < n; i++ {
+		lo, hi := docStart[i], docStart[i+1]
+		if lo > hi {
+			return nil, nil, fmt.Errorf("%w: document offsets decrease at object %d", codec.ErrCorrupt, i)
+		}
+		objs[i] = dataset.Object{
+			Point: geom.Point(points[i*dim : (i+1)*dim]),
+			Doc:   docWords[lo:hi],
+		}
+	}
+	ds, err := dataset.NewPrenormalized(objs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", codec.ErrCorrupt, err)
+	}
+
+	// Framework columns. Shape validation is NewFrameworkFromFlat's job;
+	// here only the element-width and handle decodes can fail.
+	a := &core.FlatArenas{
+		SplitterKind: int(fm[0]),
+		K:            int(meta.K),
+		PDim:         int(fm[1]),
+		NumObjects:   n,
+	}
+	if a.CellBounds, err = sr.f64s(codec.SecFlatCells, "cells"); err != nil {
+		return nil, nil, err
+	}
+	if a.Nu, err = sr.i64s(codec.SecFlatNu, "node weights"); err != nil {
+		return nil, nil, err
+	}
+	if a.L, err = sr.i32s(codec.SecFlatL, "large counts"); err != nil {
+		return nil, nil, err
+	}
+	if a.ChildFirst, err = sr.i32s(codec.SecFlatChildFirst, "child offsets"); err != nil {
+		return nil, nil, err
+	}
+	if a.ChildCount, err = sr.i32s(codec.SecFlatChildCount, "child counts"); err != nil {
+		return nil, nil, err
+	}
+	if a.PivotStart, err = sr.i32s(codec.SecFlatPivotStart, "pivot offsets"); err != nil {
+		return nil, nil, err
+	}
+	if a.PivotIDs, err = sr.i32s(codec.SecFlatPivotIDs, "pivot ids"); err != nil {
+		return nil, nil, err
+	}
+	if a.LargeStart, err = sr.i32s(codec.SecFlatLargeStart, "large offsets"); err != nil {
+		return nil, nil, err
+	}
+	if a.LargeKeys, err = sr.u32s(codec.SecFlatLargeKeys, "large keys"); err != nil {
+		return nil, nil, err
+	}
+	if a.LargeIdx, err = sr.i32s(codec.SecFlatLargeIdx, "large indexes"); err != nil {
+		return nil, nil, err
+	}
+	if a.MatStart, err = sr.i32s(codec.SecFlatMatStart, "list offsets"); err != nil {
+		return nil, nil, err
+	}
+	if a.MatKeys, err = sr.u32s(codec.SecFlatMatKeys, "list keys"); err != nil {
+		return nil, nil, err
+	}
+	listsRaw, err := sr.i32s(codec.SecFlatMatLists, "list handles")
+	if err != nil {
+		return nil, nil, err
+	}
+	if a.MatLists, err = codec.DecodePostLists(listsRaw); err != nil {
+		return nil, nil, err
+	}
+	blocksRaw, err := sr.i32s(codec.SecFlatMatBlocks, "list blocks")
+	if err != nil {
+		return nil, nil, err
+	}
+	if a.MatBlocks, err = codec.DecodePostBlocks(blocksRaw); err != nil {
+		return nil, nil, err
+	}
+	if a.MatWords, err = sr.u64s(codec.SecFlatMatWords, "list payload"); err != nil {
+		return nil, nil, err
+	}
+	if a.TensorOff, err = sr.i64s(codec.SecFlatTensorOff, "tensor offsets"); err != nil {
+		return nil, nil, err
+	}
+	if a.TensorStride, err = sr.i64s(codec.SecFlatTensorStr, "tensor strides"); err != nil {
+		return nil, nil, err
+	}
+	if a.TensorWords, err = sr.u64s(codec.SecFlatTensorWrds, "tensor payload"); err != nil {
+		return nil, nil, err
+	}
+	if a.Coords, err = sr.f64s(codec.SecFlatCoords, "coordinates"); err != nil {
+		return nil, nil, err
+	}
+	if len(a.Nu) != nn {
+		return nil, nil, fmt.Errorf("%w: flat meta claims %d nodes, weights carry %d", codec.ErrCorrupt, nn, len(a.Nu))
+	}
+	return ds, a, nil
+}
+
+// loadRankSpace reconstructs the ORPKW rank tables: per dimension, the
+// sorted coordinate array (what query rectangles binary-search against) and
+// the per-object ranks. Both must be exactly n entries per dimension; the
+// sorted arrays must be non-decreasing and the ranks in [0, n).
+func loadRankSpace(sr *secReader, ds *dataset.Dataset) (*dataset.RankSpace, error) {
+	n, dim := ds.Len(), ds.Dim()
+	ss, err := sr.f64s(codec.SecFlatRankSorted, "rank sorted")
+	if err != nil {
+		return nil, err
+	}
+	rr, err := sr.i32s(codec.SecFlatRankRanks, "rank indexes")
+	if err != nil {
+		return nil, err
+	}
+	if len(ss) != dim*n || len(rr) != dim*n {
+		return nil, fmt.Errorf("%w: rank tables sized %d/%d for %d objects of dimension %d",
+			codec.ErrCorrupt, len(ss), len(rr), n, dim)
+	}
+	sorted := make([][]float64, dim)
+	ranks := make([][]int32, dim)
+	for j := 0; j < dim; j++ {
+		sorted[j] = ss[j*n : (j+1)*n]
+		ranks[j] = rr[j*n : (j+1)*n]
+		for i := 1; i < n; i++ {
+			if !(sorted[j][i-1] <= sorted[j][i]) { // also rejects NaN
+				return nil, fmt.Errorf("%w: rank table %d not sorted", codec.ErrCorrupt, j)
+			}
+		}
+		for _, r := range ranks[j] {
+			if r < 0 || int(r) >= n {
+				return nil, fmt.Errorf("%w: rank %d outside [0, %d)", codec.ErrCorrupt, r, n)
+			}
+		}
+	}
+	return dataset.RankSpaceFromTables(dim, sorted, ranks), nil
+}

@@ -1,0 +1,124 @@
+package flatio
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"kwsc/internal/codec"
+	"kwsc/internal/core"
+	"kwsc/internal/dataset"
+)
+
+// SaveORPKW serializes a flattened ORPKW (dataset, rank tables, flat
+// arenas) as a flat-index KWCP2 container. The index must be flat (build
+// with core.WithFlatLayout or call Flatten first); ORPKW's KD splitter
+// always serializes.
+func SaveORPKW(w io.Writer, ix *core.ORPKW) error {
+	fw := ix.Framework()
+	a, err := fw.ExportFlat()
+	if err != nil {
+		return err
+	}
+	ds := fw.Dataset()
+	secs, err := flatSections(a, ds)
+	if err != nil {
+		return err
+	}
+	sorted, ranks := ix.RankSpace().Tables()
+	ss := make([]float64, 0, ds.Dim()*ds.Len())
+	rr := make([]int32, 0, ds.Dim()*ds.Len())
+	for j := 0; j < ds.Dim(); j++ {
+		ss = append(ss, sorted[j]...)
+		rr = append(rr, ranks[j]...)
+	}
+	secs = append(secs,
+		codec.Section{ID: codec.SecFlatRankSorted, Data: codec.PutF64s(ss)},
+		codec.Section{ID: codec.SecFlatRankRanks, Data: codec.PutI32s(rr)},
+	)
+	meta := codec.PagedMeta{
+		Kind:  codec.PagedKindFlatORPKW,
+		K:     uint32(a.K),
+		Dim:   uint32(ds.Dim()),
+		Count: uint64(ds.Len()),
+	}
+	return codec.WriteContainer(w, meta.Encode(), secs)
+}
+
+// SaveSPKW serializes a flattened SPKW. The splitter must be spart.Box (or
+// spart.KD): the default d=2 Willard2D substrate has polygon cells with no
+// fixed-width form — build with SPKWConfig.Splitter = &spart.Box{Dim: 2} if
+// the index is to be saved.
+func SaveSPKW(w io.Writer, ix *core.SPKW) error {
+	fw := ix.Framework()
+	a, err := fw.ExportFlat()
+	if err != nil {
+		return err
+	}
+	ds := fw.Dataset()
+	secs, err := flatSections(a, ds)
+	if err != nil {
+		return err
+	}
+	meta := codec.PagedMeta{
+		Kind:  codec.PagedKindFlatSPKW,
+		K:     uint32(a.K),
+		Dim:   uint32(ds.Dim()),
+		Count: uint64(ds.Len()),
+	}
+	return codec.WriteContainer(w, meta.Encode(), secs)
+}
+
+// SaveFileORPKW is SaveORPKW to a path, written atomically (tmp + rename +
+// directory sync).
+func SaveFileORPKW(path string, ix *core.ORPKW) error {
+	return writeAtomic(path, func(f *os.File) error { return SaveORPKW(f, ix) })
+}
+
+// SaveFileSPKW is SaveSPKW to a path, written atomically.
+func SaveFileSPKW(path string, ix *core.SPKW) error {
+	return writeAtomic(path, func(f *os.File) error { return SaveSPKW(f, ix) })
+}
+
+// flatSections encodes the framework columns and the dataset image — the
+// sections common to both index kinds.
+func flatSections(a *core.FlatArenas, ds *dataset.Dataset) ([]codec.Section, error) {
+	n, dim := ds.Len(), ds.Dim()
+	if a.NumObjects != n {
+		return nil, fmt.Errorf("flatio: flat image indexes %d objects, dataset has %d", a.NumObjects, n)
+	}
+	points := make([]float64, n*dim)
+	docStart := make([]int64, n+1)
+	var docWords []uint32
+	for i := 0; i < n; i++ {
+		copy(points[i*dim:], ds.Point(int32(i)))
+		docWords = append(docWords, ds.Doc(int32(i))...)
+		docStart[i+1] = int64(len(docWords))
+	}
+	nn := len(a.Nu)
+	return []codec.Section{
+		{ID: codec.SecFlatMeta, Data: codec.PutU64s([]uint64{uint64(a.SplitterKind), uint64(a.PDim), uint64(nn)})},
+		{ID: codec.SecFlatCells, Data: codec.PutF64s(a.CellBounds)},
+		{ID: codec.SecFlatNu, Data: codec.PutI64s(a.Nu)},
+		{ID: codec.SecFlatL, Data: codec.PutI32s(a.L)},
+		{ID: codec.SecFlatChildFirst, Data: codec.PutI32s(a.ChildFirst)},
+		{ID: codec.SecFlatChildCount, Data: codec.PutI32s(a.ChildCount)},
+		{ID: codec.SecFlatPivotStart, Data: codec.PutI32s(a.PivotStart)},
+		{ID: codec.SecFlatPivotIDs, Data: codec.PutI32s(a.PivotIDs)},
+		{ID: codec.SecFlatLargeStart, Data: codec.PutI32s(a.LargeStart)},
+		{ID: codec.SecFlatLargeKeys, Data: codec.PutU32s(a.LargeKeys)},
+		{ID: codec.SecFlatLargeIdx, Data: codec.PutI32s(a.LargeIdx)},
+		{ID: codec.SecFlatMatStart, Data: codec.PutI32s(a.MatStart)},
+		{ID: codec.SecFlatMatKeys, Data: codec.PutU32s(a.MatKeys)},
+		{ID: codec.SecFlatMatLists, Data: codec.PutI32s(codec.EncodePostLists(a.MatLists))},
+		{ID: codec.SecFlatMatBlocks, Data: codec.PutI32s(codec.EncodePostBlocks(a.MatBlocks))},
+		{ID: codec.SecFlatMatWords, Data: codec.PutU64s(a.MatWords)},
+		{ID: codec.SecFlatTensorOff, Data: codec.PutI64s(a.TensorOff)},
+		{ID: codec.SecFlatTensorStr, Data: codec.PutI64s(a.TensorStride)},
+		{ID: codec.SecFlatTensorWrds, Data: codec.PutU64s(a.TensorWords)},
+		{ID: codec.SecFlatCoords, Data: codec.PutF64s(a.Coords)},
+		{ID: codec.SecFlatPoints, Data: codec.PutF64s(points)},
+		{ID: codec.SecFlatDocStart, Data: codec.PutI64s(docStart)},
+		{ID: codec.SecFlatDocWords, Data: codec.PutU32s(docWords)},
+	}, nil
+}

@@ -1,0 +1,63 @@
+package pager
+
+import "unsafe"
+
+// Zero-copy typed views over mapped section bytes. KWCP2 sections are
+// little-endian and page-aligned, so on a little-endian host a mapped
+// section IS the typed slice — no decode, no copy. Big-endian hosts (and
+// misaligned inputs, which a well-formed container never produces) get nil
+// and fall back to the view-based readers.
+
+// hostLE reports whether the host is little-endian, decided once at init.
+var hostLE = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// CanCast reports whether zero-copy casts are available on this host.
+func CanCast() bool { return hostLE }
+
+func castOK(b []byte, align int) bool {
+	return hostLE && len(b) > 0 && uintptr(unsafe.Pointer(&b[0]))%uintptr(align) == 0
+}
+
+// CastI64 views b as []int64. Returns nil unless the host is little-endian
+// and b is 8-byte aligned and non-empty.
+func CastI64(b []byte) []int64 {
+	if !castOK(b, 8) {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// CastU64 views b as []uint64 under the same conditions as CastI64.
+func CastU64(b []byte) []uint64 {
+	if !castOK(b, 8) {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// CastF64 views b as []float64 under the same conditions as CastI64.
+func CastF64(b []byte) []float64 {
+	if !castOK(b, 8) {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// CastU32 views b as []uint32 (4-byte alignment).
+func CastU32(b []byte) []uint32 {
+	if !castOK(b, 4) {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// CastI32 views b as []int32 (4-byte alignment).
+func CastI32(b []byte) []int32 {
+	if !castOK(b, 4) {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}

@@ -1,0 +1,21 @@
+package pager
+
+import "kwsc/internal/obs"
+
+// Buffer-pool metrics, registered process-wide like the query and WAL
+// families: the hit ratio and eviction rate tell whether a capped pool is
+// sized for its working set, the resident gauge bounds memory, and the
+// pin-latency histogram separates cached pins (ns) from faulting ones (µs+).
+var (
+	pagerPinHits     = obs.Default().Counter("kwsc_pager_pin_hits_total")
+	pagerPinMisses   = obs.Default().Counter("kwsc_pager_pin_misses_total")
+	pagerEvictions   = obs.Default().Counter("kwsc_pager_evictions_total")
+	pagerCRCErrors   = obs.Default().Counter("kwsc_pager_crc_failures_total")
+	pagerPinNs       = obs.Default().Histogram("kwsc_pager_pin_ns")
+	pagerResident    = obs.Default().Gauge("kwsc_pager_resident_pages")
+	pagerOpenFiles   = obs.Default().Gauge("kwsc_pager_open_files")
+	pagerMappedBytes = obs.Default().Gauge("kwsc_pager_mapped_bytes")
+
+	pagerRetireDeferred = obs.Default().Counter("kwsc_pager_retire_deferred_total")
+	pagerRetiredDeleted = obs.Default().Counter("kwsc_pager_retired_deleted_total")
+)

@@ -1,0 +1,20 @@
+//go:build linux
+
+package pager
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only and shared; the kernel's page cache backs
+// the mapping, so resident set grows only with touched pages and shrinks
+// under memory pressure — the property that lets a shard serve an index
+// larger than RAM.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

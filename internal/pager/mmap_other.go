@@ -1,0 +1,14 @@
+//go:build !linux
+
+package pager
+
+import "os"
+
+// Platforms without the mmap fast path fall back to pread transparently:
+// Open treats a map failure as "not mapped" and every read goes through the
+// pool.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errString("pager: mmap unsupported on this platform")
+}
+
+func munmapFile(data []byte) error { return nil }

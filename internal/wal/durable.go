@@ -10,6 +10,7 @@ import (
 	"kwsc/internal/core"
 	"kwsc/internal/dataset"
 	"kwsc/internal/geom"
+	"kwsc/internal/pager"
 )
 
 // Durable is a crash-safe DynamicORPKW: every insert and delete is written
@@ -44,6 +45,8 @@ type config struct {
 	interval  time.Duration
 	autoCkpt  int
 	build     []core.BuildOption
+	paged     bool
+	pagedOpts core.PagedBaseOptions
 }
 
 // Option configures Open.
@@ -85,6 +88,16 @@ func WithBuildOptions(opts ...core.BuildOption) Option {
 	return func(c *config) { c.build = append(c.build, opts...) }
 }
 
+// WithPagedRecovery makes Open serve a KWCP2 checkpoint in place instead of
+// decoding it: the file is mapped (or attached to a bounded pread buffer
+// pool, per o) as the dynamic index's immutable bottom layer, so cold start
+// is the map plus the WAL-tail replay — no full decode, no index rebuild —
+// and the resident footprint is bounded by o.CapPages when o.NoMmap is set.
+// Legacy KWCP checkpoints in the directory still recover via full decode.
+func WithPagedRecovery(o core.PagedBaseOptions) Option {
+	return func(c *config) { c.paged, c.pagedOpts = true, o }
+}
+
 // Open recovers (or initializes) a durable dynamic index rooted at dir: it
 // loads the newest valid checkpoint, replays the write-ahead log after it —
 // truncating a torn tail, refusing mid-log corruption with ErrCorrupt — and
@@ -103,6 +116,9 @@ func Open(dir string, dim, k int, opts ...Option) (*Durable, error) {
 	}
 	l, err := openLog(rec.segPath, cfg.policy, cfg.interval)
 	if err != nil {
+		if b := rec.idx.Base(); b != nil {
+			b.Close()
+		}
 		return nil, err
 	}
 	d := &Durable{
@@ -213,7 +229,10 @@ func (d *Durable) checkpointLocked() error {
 	if err := d.log.sync(); err != nil {
 		return err
 	}
-	entries := d.idx.SnapshotNow().Entries()
+	entries, err := d.idx.SnapshotNow().Entries()
+	if err != nil {
+		return fmt.Errorf("wal: snapshotting for checkpoint: %w", err)
+	}
 	snap := &codec.Snapshot{
 		K: d.k, Dim: d.dim, LastSeq: d.seq, NextHandle: d.idx.NextHandle(),
 		Entries: make([]codec.SnapshotEntry, len(entries)),
@@ -251,7 +270,10 @@ func (d *Durable) checkpointLocked() error {
 // pruneLocked removes files the latest checkpoint supersedes: older
 // checkpoints and every segment other than the active one (segments rotate
 // at checkpoints, so all inactive segments hold only superseded records).
-// Failures are ignored — recovery handles leftover files.
+// Checkpoints go through pager.Retire instead of a bare unlink: a superseded
+// snapshot the paged base (or any reader) still has mapped is marked obsolete
+// and deleted on its last unref, never under the reader. Failures are
+// ignored — recovery handles leftover files.
 func (d *Durable) pruneLocked() {
 	des, err := os.ReadDir(d.dir)
 	if err != nil {
@@ -260,7 +282,7 @@ func (d *Durable) pruneLocked() {
 	for _, de := range des {
 		name := de.Name()
 		if s, ok := parseSeq(name, "checkpoint-", ".ckpt"); ok && s < d.seq {
-			os.Remove(checkpointPath(d.dir, s))
+			pager.Retire(checkpointPath(d.dir, s))
 		}
 		if s, ok := parseSeq(name, "wal-", ".log"); ok {
 			if p := segmentPath(d.dir, s); p != d.log.path {
@@ -270,8 +292,12 @@ func (d *Durable) pruneLocked() {
 	}
 }
 
-// Close fsyncs and closes the log. Further mutations fail with ErrClosed;
-// the on-disk state reopens with Open.
+// Close fsyncs and closes the log, and releases the paged base's checkpoint
+// mapping when recovery attached one. Further mutations fail with ErrClosed;
+// the on-disk state reopens with Open. With a paged base, queries must have
+// drained before Close — their reads would fault against the released
+// mapping; without one, the in-memory state outlives the log and queries
+// keep working.
 func (d *Durable) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -280,14 +306,21 @@ func (d *Durable) Close() error {
 	}
 	d.closed = true
 	d.idx.SetJournal(nil)
-	return d.log.close()
+	err := d.log.close()
+	if b := d.idx.Base(); b != nil {
+		if cerr := b.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Query reports (handle, object) for every live object in q whose document
 // contains all k keywords; see core.DynamicORPKW.Query. Queries are
 // lock-free: they run against the state published by the last acknowledged
-// mutation and never wait on writers, checkpoints, or fsyncs. (They also
-// keep working after Close — the in-memory state outlives the log.)
+// mutation and never wait on writers, checkpoints, or fsyncs. (Without a
+// paged base they also keep working after Close — the in-memory state
+// outlives the log; with one, Close releases the mapping they read from.)
 func (d *Durable) Query(q *geom.Rect, ws []dataset.Keyword, report func(handle int64, obj *dataset.Object)) (core.QueryStats, error) {
 	return d.idx.Query(q, ws, report)
 }

@@ -66,11 +66,35 @@ func recoverDir(dir string, dim, k int, cfg config) (*recovered, error) {
 	sort.Slice(ckptSeqs, func(a, b int) bool { return ckptSeqs[a] > ckptSeqs[b] })
 	sort.Slice(segSeqs, func(a, b int) bool { return segSeqs[a] < segSeqs[b] })
 
-	// RESTORE: newest checkpoint that validates.
+	// RESTORE: newest checkpoint that validates. With paged recovery a KWCP2
+	// checkpoint is not decoded at all — it is opened as the dynamic index's
+	// immutable bottom layer and serves queries in place, so cold start is the
+	// map (or pool attach) plus the WAL-tail replay below.
 	var idx *core.DynamicORPKW
 	base := uint64(0)
 	for _, cs := range ckptSeqs {
-		snap, err := readCheckpointFile(checkpointPath(dir, cs))
+		path := checkpointPath(dir, cs)
+		if cfg.paged {
+			pb, err := core.OpenPagedBase(path, cfg.pagedOpts)
+			if err == nil {
+				if pb.K() != k || pb.Dim() != dim {
+					kk, dd := pb.K(), pb.Dim()
+					pb.Close()
+					return nil, fmt.Errorf("wal: checkpoint is for k=%d dim=%d, index opened with k=%d dim=%d",
+						kk, dd, k, dim)
+				}
+				idx, err = core.RestoreDynamicORPKWFromBase(dim, k, cfg.bufferCap, pb, pb.NextHandle(), cfg.build...)
+				if err != nil {
+					pb.Close()
+					return nil, fmt.Errorf("wal: restoring paged checkpoint %d: %w", cs, err)
+				}
+				base = pb.LastSeq()
+				break
+			}
+			// Not a KWCP2 container (legacy checkpoint) or damaged: fall
+			// through to the decoding path, which refuses damage the same way.
+		}
+		snap, err := readCheckpointAny(path)
 		if err != nil {
 			continue // damaged checkpoint: fall back to an older one + replay
 		}
@@ -96,6 +120,16 @@ func recoverDir(dir string, dim, k int, cfg config) (*recovered, error) {
 			return nil, err
 		}
 	}
+	// From here on a failed recovery must release the paged base's file
+	// reference (and mapping) instead of leaking it to the finalizer.
+	recoverOK := false
+	defer func() {
+		if !recoverOK {
+			if b := idx.Base(); b != nil {
+				b.Close()
+			}
+		}
+	}()
 	// Align the index's mutation sequence with the journal's numbering: the
 	// restored state corresponds to the checkpoint's LastSeq, and each
 	// replayed record advances it by one, so after replay the published seq
@@ -178,5 +212,6 @@ func recoverDir(dir string, dim, k int, cfg config) (*recovered, error) {
 	walRecoveries.Inc()
 	walReplayedRecords.Add(rec.replayed)
 	walRecoveryNs.Observe(int64(time.Since(start)))
+	recoverOK = true
 	return rec, nil
 }
