@@ -3,7 +3,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build test race vet vet-deprecated vet-pager cover bench bench-1m bench-save bench-compare bench-coldstart check crash fuzz-smoke serve-smoke bench-serve repro repro-quick examples clean
+.PHONY: all build test race vet vet-deprecated vet-pager cover bench bench-1m bench-save bench-compare bench-coldstart check crash fuzz-smoke serve-smoke replica-smoke bench-serve repro repro-quick examples clean
 
 all: build test
 
@@ -13,13 +13,16 @@ all: build test
 # lock-free readers, the linearizability harness, the metrics registry, the
 # sharded query service) including the failpoint/resilience tests, the
 # crash-injection suite, a short fuzz smoke over the binary decoders, and an
-# end-to-end serving smoke (kwscd booted, kwsload burst, clean shutdown).
+# end-to-end serving smoke (kwscd booted, kwsload burst, clean shutdown),
+# and a replication smoke (primary + two followers, bounded-staleness reads
+# surviving a killed follower).
 check: vet
 	$(GO) test ./...
 	$(MAKE) race
 	$(MAKE) crash
 	$(MAKE) fuzz-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) replica-smoke
 
 # Crash-injection suite under the race detector: a panic is armed at every
 # durability failpoint (mid-append, pre-fsync, mid-checkpoint, pre-rename,
@@ -95,7 +98,7 @@ vet-pager:
 # registry/tracer/slow-log all run under the detector.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/ ./internal/spart/ ./internal/obs/ ./internal/wal/ ./internal/serve/ ./internal/pager/ ./internal/flatio/ .
+	$(GO) test -race ./internal/core/ ./internal/spart/ ./internal/obs/ ./internal/wal/ ./internal/repl/ ./internal/serve/ ./internal/pager/ ./internal/flatio/ .
 
 cover:
 	$(GO) test -cover ./...
@@ -168,6 +171,42 @@ serve-smoke:
 	kill -TERM $$pid && wait $$pid || status=1; \
 	grep -q "clean shutdown" $$tmp/kwscd.log || { \
 		echo "kwscd did not shut down cleanly:"; cat $$tmp/kwscd.log; status=1; }; \
+	rm -rf $$tmp; exit $$status
+
+# Replication smoke (DESIGN.md §16): a durable primary configured with two
+# follower replica URLs, two follower kwscd processes bootstrapping from its
+# checkpoints and tailing its WALs, a bounded-staleness kwsload burst served
+# with the group healthy, then one follower killed hard (SIGKILL) and a
+# second burst that must keep succeeding — the probes declare the dead leg,
+# reads fail over, and kwsload's zero-goodput exit code is the assertion.
+# Finally both surviving processes must shut down cleanly.
+REPLICA_SMOKE_ADDR ?= 127.0.0.1:18094
+REPLICA_SMOKE_F1 ?= 127.0.0.1:18095
+REPLICA_SMOKE_F2 ?= 127.0.0.1:18096
+replica-smoke:
+	@tmp=$$(mktemp -d); status=0; \
+	$(GO) build -o $$tmp/kwscd ./cmd/kwscd || exit 1; \
+	$(GO) build -o $$tmp/kwsload ./cmd/kwsload || exit 1; \
+	$$tmp/kwscd -addr $(REPLICA_SMOKE_ADDR) -mode dynamic -dir $$tmp/primary \
+		-shards 2 -n 5000 -replica-probe 50ms \
+		-replicas http://$(REPLICA_SMOKE_F1),http://$(REPLICA_SMOKE_F2) \
+		>$$tmp/primary.log 2>&1 & ppid=$$!; \
+	$$tmp/kwscd -addr $(REPLICA_SMOKE_F1) -dir $$tmp/f1 -follow-poll 20ms \
+		-follow http://$(REPLICA_SMOKE_ADDR) >$$tmp/f1.log 2>&1 & f1pid=$$!; \
+	$$tmp/kwscd -addr $(REPLICA_SMOKE_F2) -dir $$tmp/f2 -follow-poll 20ms \
+		-follow http://$(REPLICA_SMOKE_ADDR) >$$tmp/f2.log 2>&1 & f2pid=$$!; \
+	$$tmp/kwsload -addr $(REPLICA_SMOKE_ADDR) -wait-ready 20s \
+		-sweep 2 -duration 1s -max-staleness 2000 || status=1; \
+	kill -KILL $$f1pid; \
+	sleep 1; \
+	$$tmp/kwsload -addr $(REPLICA_SMOKE_ADDR) -sweep 2 -duration 1s \
+		-max-staleness 2000 || { echo "reads failed with one replica down"; status=1; }; \
+	kill -TERM $$f2pid && wait $$f2pid || status=1; \
+	kill -TERM $$ppid && wait $$ppid || status=1; \
+	grep -q "clean shutdown" $$tmp/primary.log || { \
+		echo "primary did not shut down cleanly:"; cat $$tmp/primary.log; status=1; }; \
+	grep -q "clean shutdown" $$tmp/f2.log || { \
+		echo "follower 2 did not shut down cleanly:"; cat $$tmp/f2.log; status=1; }; \
 	rm -rf $$tmp; exit $$status
 
 # The serving goodput curve of EXPERIMENTS.md: a larger corpus with

@@ -15,8 +15,16 @@
 //
 //	kwscd -addr :8080 -mode dynamic -dir /var/lib/kwsc -shards 4
 //
+// Run a read replica of that primary, and tell the primary about it so
+// bounded-staleness reads fail over across the group:
+//
+//	kwscd -addr :8081 -dir /var/lib/kwsc-replica -follow http://primary:8080
+//	kwscd -addr :8080 -mode dynamic -dir /var/lib/kwsc -shards 4 \
+//	      -replicas http://replica:8081
+//
 // Endpoints: POST /v1/query, POST /v1/write, GET /healthz, GET /metrics
-// (Prometheus), GET /debug/stats. See DESIGN.md §14.
+// (Prometheus), GET /debug/stats, plus the /repl/v1 replication surface.
+// See DESIGN.md §14 (serving) and §16 (replication).
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,6 +72,12 @@ func main() {
 		paged    = flag.Bool("paged-recovery", false, "dynamic mode: serve checkpoints through the pager (cold start = map + WAL tail)")
 		noMmap   = flag.Bool("paged-pread", false, "with -paged-recovery: use pread + buffer pool instead of mmap")
 		capPages = flag.Int("paged-cap", 0, "with -paged-pread: buffer-pool capacity in pages per shard (0 = default)")
+
+		follow       = flag.String("follow", "", "run as a read-only replica of the primary at this base URL (requires -dir; overrides -mode)")
+		followPoll   = flag.Duration("follow-poll", 0, "replica WAL tail poll cadence (0 = default)")
+		replicas     = flag.String("replicas", "", "comma-separated follower base URLs; bounded-staleness reads fail over across them")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "hedge a replica read to the next candidate after this latency (0 = no hedging)")
+		replicaProbe = flag.Duration("replica-probe", 0, "replica health-probe cadence (0 = default)")
 	)
 	flag.Parse()
 
@@ -102,26 +117,42 @@ func main() {
 		}))
 	}
 
-	objs := genCorpus(*n, *dim, *vocab, *doclen, *seed)
+	if *replicas != "" {
+		cfg.ReplicaURLs = strings.Split(*replicas, ",")
+	}
+	cfg.HedgeAfter = *hedgeAfter
+	cfg.ReplicaProbe = *replicaProbe
+	cfg.FollowerPoll = *followPoll
+
 	var s *serve.Server
 	start := time.Now()
-	switch *mode {
-	case "static":
-		if len(objs) == 0 {
-			log.Fatal("kwscd: -mode static needs a corpus; pass -n > 0")
+	servedMode := *mode
+	if *follow != "" {
+		if *dir == "" {
+			log.Fatal("kwscd: -follow needs -dir for the replica's local durable state")
 		}
-		s, err = serve.NewStatic(objs, cfg)
-	case "dynamic":
-		s, err = serve.NewDynamic(*dir, objs, cfg)
-	default:
-		log.Fatalf("kwscd: unknown -mode %q (want static or dynamic)", *mode)
+		servedMode = "follower"
+		s, err = serve.NewFollower(*dir, strings.TrimRight(*follow, "/"), cfg)
+	} else {
+		objs := genCorpus(*n, *dim, *vocab, *doclen, *seed)
+		switch *mode {
+		case "static":
+			if len(objs) == 0 {
+				log.Fatal("kwscd: -mode static needs a corpus; pass -n > 0")
+			}
+			s, err = serve.NewStatic(objs, cfg)
+		case "dynamic":
+			s, err = serve.NewDynamic(*dir, objs, cfg)
+		default:
+			log.Fatalf("kwscd: unknown -mode %q (want static or dynamic)", *mode)
+		}
 	}
 	if err != nil {
 		log.Fatalf("kwscd: building shards: %v", err)
 	}
 	defer s.Close()
 	log.Printf("kwscd: %s corpus, %d objects live, %d shards (%s partition), built in %v",
-		*mode, s.Live(), s.NumShards(), pmode, time.Since(start).Round(time.Millisecond))
+		servedMode, s.Live(), s.NumShards(), pmode, time.Since(start).Round(time.Millisecond))
 
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errc := make(chan error, 1)

@@ -43,6 +43,7 @@ func main() {
 		writeFrac = flag.Float64("writes", 0, "fraction of requests that are inserts (dynamic corpora only)")
 		limit     = flag.Int("limit", 0, "per-query result limit (0 = all)")
 		timeoutMs = flag.Int64("timeout-ms", 0, "per-query timeout knob (0 = server default)")
+		staleMs   = flag.Int64("max-staleness", 0, "per-query max_staleness_ms: lets the server answer from cached snapshots and replicas no older than this (0 = always fresh)")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		name      = flag.String("name", "query", "step label prefix in the snapshot")
 		out       = flag.String("out", "", "write a benchfmt snapshot with the serve records here")
@@ -84,6 +85,7 @@ func main() {
 			writeFrac: *writeFrac,
 			limit:     *limit,
 			timeoutMs: *timeoutMs,
+			staleMs:   *staleMs,
 			seed:      *seed + int64(c)*1000,
 		})
 		records = append(records, rec)
@@ -156,6 +158,7 @@ type stepConfig struct {
 	writeFrac float64
 	limit     int
 	timeoutMs int64
+	staleMs   int64
 	seed      int64
 }
 
@@ -280,10 +283,11 @@ func randKeywords(rng *rand.Rand, vocab, k int) []kwsc.Keyword {
 
 func randQuery(rng *rand.Rand, cfg stepConfig, client string) *kwsc.QueryRequest {
 	req := &kwsc.QueryRequest{
-		Client:    client,
-		Keywords:  randKeywords(rng, cfg.vocab, cfg.k),
-		Limit:     cfg.limit,
-		TimeoutMs: cfg.timeoutMs,
+		Client:         client,
+		Keywords:       randKeywords(rng, cfg.vocab, cfg.k),
+		Limit:          cfg.limit,
+		TimeoutMs:      cfg.timeoutMs,
+		MaxStalenessMs: cfg.staleMs,
 	}
 	switch rng.Intn(3) {
 	case 0: // rectangle

@@ -278,9 +278,18 @@ func (c *Container) SectionBytes(r io.ReaderAt, id uint32) ([]byte, error) {
 	return buf, nil
 }
 
+// sequentialAdviser is implemented by pager.File: a hint that the next reads
+// are one linear pass, so the kernel raises readahead for them.
+type sequentialAdviser interface{ AdviseSequential(off, n int64) }
+
 // VerifyAllPages checksums every covered page against the table — the eager
 // integrity pass for full decodes; paged serving verifies lazily per pin.
+// When the reader is a pager file the scan announces itself as sequential
+// first (ROADMAP item 2c), cutting cold-start fault stalls on large images.
 func (c *Container) VerifyAllPages(r io.ReaderAt) error {
+	if a, ok := r.(sequentialAdviser); ok {
+		a.AdviseSequential(0, int64(len(c.PageCRCs))*pager.PageSize)
+	}
 	buf := make([]byte, pager.PageSize)
 	for p := int64(0); p < int64(len(c.PageCRCs)); p++ {
 		want := c.PageCRCs[p]

@@ -129,6 +129,7 @@ func openContainer(path string, o Options) (*pager.File, *codec.Container, error
 		f.Unref()
 		return nil, nil, err
 	}
+	adviseSkeleton(f, c)
 	return f, c, nil
 }
 

@@ -41,6 +41,23 @@ func OpenSPKW(path string, o Options, opts ...core.BuildOption) (*core.SPKW, *Ha
 	return ix, &Handle{f: f}, nil
 }
 
+// adviseSkeleton hints WILLNEED on the tree-skeleton sections — the per-node
+// columns every traversal touches from the first query — so they prefetch
+// while the rest of the image (postings, tensors, coordinates) stays
+// demand-paged. Best-effort; no-op off Linux.
+func adviseSkeleton(f *pager.File, c *codec.Container) {
+	skeleton := []uint32{
+		codec.SecFlatMeta, codec.SecFlatCells, codec.SecFlatNu, codec.SecFlatL,
+		codec.SecFlatChildFirst, codec.SecFlatChildCount,
+		codec.SecFlatPivotStart, codec.SecFlatPivotIDs,
+	}
+	for _, id := range skeleton {
+		if off, n, ok := c.Section(id); ok {
+			f.AdviseWillNeed(off, n)
+		}
+	}
+}
+
 func openORPKWFrom(f *pager.File, c *codec.Container, opts []core.BuildOption) (*core.ORPKW, error) {
 	meta := codec.ParsePagedMeta(c.Meta)
 	if meta.Kind != codec.PagedKindFlatORPKW {

@@ -1,0 +1,37 @@
+package pager
+
+// Kernel access-pattern hints (ROADMAP item 2c). Hints are best-effort: they
+// never fail a read, they only warm or order the page cache. On a mapped
+// file they become madvise on the mapping; on a pread-backed file,
+// posix_fadvise on the descriptor; on non-Linux platforms, nothing.
+
+// adviseKind selects the hint adviseRange applies.
+type adviseKind int
+
+const (
+	adviseWillNeed   adviseKind = iota // prefetch: the range is about to be hot
+	adviseSequential                   // aggressive readahead: one linear pass
+)
+
+// AdviseWillNeed hints that the byte range [off, off+n) is about to be
+// accessed — the kernel may start prefetching it. Used on the tree-skeleton
+// sections at open so the first queries fault in warm pages.
+func (f *File) AdviseWillNeed(off, n int64) { f.adviseRange(off, n, adviseWillNeed) }
+
+// AdviseSequential hints one linear pass over [off, off+n) — the kernel
+// raises readahead for it. Used by the open-time VerifyAllPages scan.
+func (f *File) AdviseSequential(off, n int64) { f.adviseRange(off, n, adviseSequential) }
+
+// clampRange page-aligns and bounds-checks a hint range; ok is false when
+// nothing remains to advise.
+func (f *File) clampRange(off, n int64) (lo, hi int64, ok bool) {
+	if n <= 0 || off < 0 || off >= f.size {
+		return 0, 0, false
+	}
+	hi = off + n
+	if hi > f.size {
+		hi = f.size
+	}
+	lo = off &^ (PageSize - 1) // madvise requires a page-aligned start
+	return lo, hi, true
+}

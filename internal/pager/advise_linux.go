@@ -1,0 +1,31 @@
+//go:build linux
+
+package pager
+
+import "syscall"
+
+// adviseRange applies the hint to [off, off+n): madvise on the mapping when
+// the file is mapped, posix_fadvise on the descriptor otherwise. Errors are
+// deliberately dropped — a refused hint just means colder first reads.
+func (f *File) adviseRange(off, n int64, kind adviseKind) {
+	lo, hi, ok := f.clampRange(off, n)
+	if !ok {
+		return
+	}
+	if f.data != nil {
+		madv := syscall.MADV_WILLNEED
+		if kind == adviseSequential {
+			madv = syscall.MADV_SEQUENTIAL
+		}
+		_ = syscall.Madvise(f.data[lo:hi], madv)
+		return
+	}
+	// posix_fadvise advice values (linux/include/uapi/linux/fadvise.h);
+	// syscall exports no constants for them.
+	fadv := int64(3) // POSIX_FADV_WILLNEED
+	if kind == adviseSequential {
+		fadv = 2 // POSIX_FADV_SEQUENTIAL
+	}
+	_, _, _ = syscall.Syscall6(syscall.SYS_FADVISE64,
+		f.f.Fd(), uintptr(lo), uintptr(hi-lo), uintptr(fadv), 0, 0)
+}

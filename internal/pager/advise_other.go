@@ -1,0 +1,9 @@
+//go:build !linux
+
+package pager
+
+// adviseRange is a no-op off Linux: the hints are pure optimizations and the
+// portable fallback is simply a cold page cache.
+func (f *File) adviseRange(off, n int64, kind adviseKind) {
+	_, _, _ = off, n, kind
+}

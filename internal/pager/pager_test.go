@@ -315,3 +315,29 @@ func TestConcurrentPinsRace(t *testing.T) {
 		}
 	}
 }
+
+// TestAdviseHints: access-pattern hints must be safe no-ops from the
+// caller's perspective on both backends — any range, including unaligned,
+// partial-page, and out-of-bounds ones, leaves reads intact.
+func TestAdviseHints(t *testing.T) {
+	path, _ := writePagedFixture(t, 4, 100)
+	for mode, f := range openBoth(t, path) {
+		t.Run(mode, func(t *testing.T) {
+			defer f.Unref()
+			f.AdviseSequential(0, f.Size())
+			f.AdviseWillNeed(0, f.Size())
+			f.AdviseWillNeed(123, 7)           // unaligned interior
+			f.AdviseWillNeed(f.Size()-10, 100) // clipped tail
+			f.AdviseWillNeed(-5, 10)           // rejected, no panic
+			f.AdviseWillNeed(f.Size()+5, 10)   // past EOF, rejected
+			f.AdviseSequential(0, 0)           // empty
+			var buf [8]byte
+			if _, err := f.ReadAt(buf[:], 0); err != nil {
+				t.Fatalf("read after advise: %v", err)
+			}
+			if want := byte(0); buf[0] != want {
+				t.Fatalf("byte 0 = %d, want %d", buf[0], want)
+			}
+		})
+	}
+}

@@ -86,6 +86,15 @@ func errStatus(err error) (int, string) {
 //	GET  /healthz    — liveness ("ok")
 //	GET  /metrics    — Prometheus text exposition of internal/obs
 //	GET  /debug/stats — JSON deployment and per-shard state
+//
+// plus the replication surface under /repl/v1 (DESIGN.md §16):
+//
+//	GET  /repl/v1/meta                    — deployment shape for followers
+//	GET  /repl/v1/shard/{i}/meta          — per-shard shipping state
+//	GET  /repl/v1/shard/{i}/checkpoint    — checkpoint bytes (durable primaries)
+//	GET  /repl/v1/shard/{i}/wal?from=N    — WAL frame tail (durable primaries)
+//	POST /repl/v1/shard/{i}/query         — single-shard scatter leg
+//	GET  /repl/v1/shard/{i}/health        — replication lag and liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+kwsc.PathQuery, s.handleQuery)
@@ -99,7 +108,92 @@ func (s *Server) Handler() http.Handler {
 		obs.Default().Snapshot().WritePrometheus(w)
 	})
 	mux.HandleFunc("GET /debug/stats", s.handleStats)
+
+	mux.HandleFunc("GET /repl/v1/meta", s.handleReplMeta)
+	for i := range s.locals {
+		prefix := fmt.Sprintf("/repl/v1/shard/%03d", i)
+		mux.HandleFunc("POST "+prefix+"/query", s.legQueryHandler(i))
+		mux.HandleFunc("GET "+prefix+"/health", s.legHealthHandler(i))
+		if s.ships != nil {
+			mux.Handle(prefix+"/", http.StripPrefix(prefix, s.ships[i].Handler()))
+		}
+	}
 	return mux
+}
+
+func (s *Server) handleReplMeta(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, serverMeta{
+		Mode: s.mode(), Partition: s.part.mode.String(),
+		Shards: len(s.locals), Dim: s.cfg.Dim, K: s.cfg.K,
+	})
+}
+
+// legQueryHandler answers a single local shard's scatter leg: no admission,
+// no merge — replica groups on a peer primary call this per shard.
+func (s *Server) legQueryHandler(i int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req kwsc.QueryRequest
+		if !decode(w, r, &req) {
+			countHTTP("repl_query", http.StatusBadRequest)
+			return
+		}
+		if err := req.Validate(s.cfg.Dim, s.cfg.K); err != nil {
+			status, code := errStatus(err)
+			countHTTP("repl_query", status)
+			writeError(w, status, code, err.Error())
+			return
+		}
+		opts := req.Opts(s.cfg.DefaultTimeout)
+		if opts.Policy.Timeout > 0 && opts.Policy.Deadline.IsZero() {
+			opts.Policy.Deadline = time.Now().Add(opts.Policy.Timeout)
+			opts.Policy.Timeout = 0
+		}
+		res := s.locals[i].collect(&req, req.BoundingRect(s.cfg.Dim), req.ExactRegion(), req.Keywords,
+			opts, time.Duration(req.MaxStalenessMs)*time.Millisecond)
+		out := outcomeOf(res.err)
+		if out == "panic" || out == "error" {
+			status, code := errStatus(res.err)
+			countHTTP("repl_query", status)
+			writeError(w, status, code, res.err.Error())
+			return
+		}
+		ids := res.ids
+		if ids == nil {
+			ids = []int64{}
+		}
+		countHTTP("repl_query", http.StatusOK)
+		writeJSON(w, http.StatusOK, legReply{
+			IDs: ids, Ops: res.st.Ops, Seq: res.seq,
+			Truncated: res.st.Truncated, FellBack: res.st.Fallback,
+			Outcome: out, StalenessMs: res.stalenessMs, Stale: res.stale,
+		})
+	}
+}
+
+func (s *Server) legHealthHandler(i int) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		if h, ok := s.locals[i].(healther); ok {
+			writeJSON(w, http.StatusOK, h.health())
+			return
+		}
+		// A non-replicating local shard is its own primary: always caught up.
+		var seq uint64
+		if d, ok := s.locals[i].(*dynamicShard); ok {
+			seq = d.seq()
+		}
+		writeJSON(w, http.StatusOK, healthReply{AppliedSeq: seq, PrimarySeq: seq})
+	}
+}
+
+func (s *Server) mode() string {
+	switch {
+	case s.follower:
+		return "follower"
+	case s.dynamic:
+		return "dynamic"
+	default:
+		return "static"
+	}
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -178,12 +272,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	for i, sh := range s.shards {
 		shards[i] = sh.describe()
 	}
-	mode := "static"
-	if s.dynamic {
-		mode = "dynamic"
-	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"mode":       mode,
+		"mode":       s.mode(),
 		"partition":  s.part.mode.String(),
 		"shards":     len(s.shards),
 		"dim":        s.cfg.Dim,

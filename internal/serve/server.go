@@ -12,6 +12,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sync"
@@ -19,6 +20,7 @@ import (
 
 	"kwsc"
 	"kwsc/internal/obs"
+	"kwsc/internal/repl"
 )
 
 // Config parameterizes a Server. The zero value serves one shard with no
@@ -46,6 +48,36 @@ type Config struct {
 	BuildOptions []kwsc.Option
 	// DurableOptions are forwarded to OpenDurable for durable shards.
 	DurableOptions []kwsc.DurableOption
+
+	// ReplicaURLs are base URLs of follower kwscd processes replicating this
+	// primary (dynamic durable mode only). Each shard then becomes a replica
+	// group: bounded-staleness reads fan out across fresh-enough replicas
+	// with failover to the writer; a request with no staleness bound always
+	// reads the writer.
+	ReplicaURLs []string
+	// HedgeAfter launches the next replica candidate when the current one
+	// has not answered within this latency (0 = no hedging).
+	HedgeAfter time.Duration
+	// ReplicaProbe is the background health-poll cadence per replica leg
+	// (0 = 250ms); ReplicaLiveness is the probe age beyond which a leg
+	// counts as down (0 = 3×probe).
+	ReplicaProbe    time.Duration
+	ReplicaLiveness time.Duration
+	// ReplicaTimeout bounds each remote replica HTTP call (0 = 2s).
+	ReplicaTimeout time.Duration
+	// FollowerPoll is the WAL tail poll cadence of NewFollower deployments
+	// (0 = repl default).
+	FollowerPoll time.Duration
+}
+
+// replicaClient builds the HTTP client used for replica legs and follower
+// tails.
+func (c Config) replicaClient() *http.Client {
+	t := c.ReplicaTimeout
+	if t <= 0 {
+		t = 2 * time.Second
+	}
+	return &http.Client{Timeout: t}
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +99,12 @@ func (c Config) withDefaults() Config {
 	if c.DegradedNodeBudget <= 0 {
 		c.DegradedNodeBudget = 4096
 	}
+	if c.ReplicaProbe <= 0 {
+		c.ReplicaProbe = 250 * time.Millisecond
+	}
+	if c.ReplicaLiveness <= 0 {
+		c.ReplicaLiveness = 3 * c.ReplicaProbe
+	}
 	return c
 }
 
@@ -76,9 +114,15 @@ type Server struct {
 	cfg     Config
 	dynamic bool
 	shards  []shard
-	part    *partitioner
-	adm     *admission
-	start   time.Time
+	// locals are the underlying per-process shards, bypassing any replica
+	// group wrapping — what the /repl/v1/shard/{i}/query leg endpoint and
+	// the shipping surface serve from.
+	locals   []shard
+	ships    []*repl.Shipper
+	follower bool
+	part     *partitioner
+	adm      *admission
+	start    time.Time
 
 	closeOnce sync.Once
 	closeErr  error
@@ -130,6 +174,7 @@ func NewDynamic(dir string, seed []kwsc.Object, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	part := newPartitioner(cfg.Partition, cfg.Shards, seed)
 	shards := make([]shard, cfg.Shards)
+	ships := make([]*repl.Shipper, 0, cfg.Shards)
 	fresh := true
 	for i := range shards {
 		var ix kwsc.DynamicIndex
@@ -156,10 +201,31 @@ func NewDynamic(dir string, seed []kwsc.Object, cfg Config) (*Server, error) {
 				fresh = false
 			}
 			ix = d
+			ships = append(ships, &repl.Shipper{Dir: sub, Dim: cfg.Dim, K: cfg.K, LastSeq: d.LastSeq})
 		}
 		shards[i] = &dynamicShard{id: i, n: cfg.Shards, ix: ix, now: time.Now}
 	}
 	s := newServer(cfg, true, shards, part)
+	if len(ships) == len(shards) {
+		s.ships = ships
+	}
+	if len(cfg.ReplicaURLs) > 0 {
+		// Wrap every shard in a replica group: the local writer plus one
+		// remote read leg per follower process.
+		client := cfg.replicaClient()
+		for i, sh := range shards {
+			legs := make([]*remoteLeg, len(cfg.ReplicaURLs))
+			for j, u := range cfg.ReplicaURLs {
+				legs[j] = &remoteLeg{
+					name:     fmt.Sprintf("replica-%d", j),
+					baseURL:  fmt.Sprintf("%s/repl/v1/shard/%03d", u, i),
+					client:   client,
+					liveness: cfg.ReplicaLiveness,
+				}
+			}
+			s.shards[i] = newReplicaGroup(i, sh, legs, cfg.HedgeAfter, cfg.ReplicaProbe)
+		}
+	}
 	if fresh && len(seed) > 0 {
 		if err := s.Load(seed); err != nil {
 			s.Close()
@@ -171,7 +237,8 @@ func NewDynamic(dir string, seed []kwsc.Object, cfg Config) (*Server, error) {
 
 func newServer(cfg Config, dynamic bool, shards []shard, part *partitioner) *Server {
 	return &Server{
-		cfg: cfg, dynamic: dynamic, shards: shards, part: part,
+		cfg: cfg, dynamic: dynamic, shards: shards,
+		locals: append([]shard(nil), shards...), part: part,
 		adm: newAdmission(cfg.Admission), start: time.Now(),
 	}
 }
@@ -237,22 +304,13 @@ func countShardOutcome(outcome string) {
 	c.Inc()
 }
 
-// shardReply is one gathered scatter leg.
-type shardReply struct {
-	ids []int64
-	st  kwsc.QueryStats
-	seq uint64
-	err error
-}
-
 // scatter fans the query out to every shard concurrently and gathers all
 // replies. All shards share the caller's absolute deadline (resolved once),
 // so a straggler cannot extend the query's wall-clock budget.
-func (s *Server) scatter(q *kwsc.Rect, exact kwsc.Region, ws []kwsc.Keyword, opts kwsc.QueryOpts, staleness time.Duration) []shardReply {
-	replies := make([]shardReply, len(s.shards))
+func (s *Server) scatter(req *kwsc.QueryRequest, q *kwsc.Rect, exact kwsc.Region, ws []kwsc.Keyword, opts kwsc.QueryOpts, staleness time.Duration) []legResult {
+	replies := make([]legResult, len(s.shards))
 	if len(s.shards) == 1 {
-		ids, st, seq, err := s.shards[0].collect(q, exact, ws, opts, staleness)
-		replies[0] = shardReply{ids, st, seq, err}
+		replies[0] = s.shards[0].collect(req, q, exact, ws, opts, staleness)
 		return replies
 	}
 	var wg sync.WaitGroup
@@ -260,8 +318,7 @@ func (s *Server) scatter(q *kwsc.Rect, exact kwsc.Region, ws []kwsc.Keyword, opt
 		wg.Add(1)
 		go func(i int, sh shard) {
 			defer wg.Done()
-			ids, st, seq, err := sh.collect(q, exact, ws, opts, staleness)
-			replies[i] = shardReply{ids, st, seq, err}
+			replies[i] = sh.collect(req, q, exact, ws, opts, staleness)
 		}(i, sh)
 	}
 	wg.Wait()
@@ -292,7 +349,7 @@ func outcomeOf(err error) string {
 // panicked or failed shards contribute nothing and mark the result
 // truncated. Merging is deterministic: ascending global ids, limit cut
 // applied to the merged sequence.
-func (s *Server) gather(replies []shardReply, limit int) (*kwsc.QueryResponse, error) {
+func (s *Server) gather(replies []legResult, limit int) (*kwsc.QueryResponse, error) {
 	resp := &kwsc.QueryResponse{Shards: make([]kwsc.ShardOutcome, len(replies))}
 	lists := make([][]int64, len(replies))
 	total := 0
@@ -312,11 +369,15 @@ func (s *Server) gather(replies []shardReply, limit int) (*kwsc.QueryResponse, e
 		if rep.st.Fallback {
 			resp.Degraded = true
 		}
+		if rep.stale {
+			resp.Stale = true
+		}
 		lists[i] = rep.ids
 		total += len(rep.ids)
 		resp.Shards[i] = kwsc.ShardOutcome{
 			Shard: i, Reported: len(rep.ids), Ops: rep.st.Ops,
 			Seq: rep.seq, Outcome: out, FellBack: rep.st.Fallback,
+			Replica: rep.replica, StalenessMs: rep.stalenessMs, Stale: rep.stale,
 		}
 	}
 	resp.IDs = mergeSorted(lists, limit)
@@ -350,7 +411,7 @@ func (s *Server) Query(req *kwsc.QueryRequest, degraded bool) (*kwsc.QueryRespon
 		opts.Policy.Timeout = 0
 	}
 	start := time.Now()
-	replies := s.scatter(req.BoundingRect(s.cfg.Dim), req.ExactRegion(), req.Keywords, opts,
+	replies := s.scatter(req, req.BoundingRect(s.cfg.Dim), req.ExactRegion(), req.Keywords, opts,
 		time.Duration(req.MaxStalenessMs)*time.Millisecond)
 	resp, err := s.gather(replies, req.Limit)
 	if err != nil {

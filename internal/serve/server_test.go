@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"slices"
 	"strings"
+	"sync"
 	"testing"
 
 	"kwsc"
@@ -618,5 +619,102 @@ func TestStalenessCache(t *testing.T) {
 	}
 	if got.Count != 1 {
 		t.Fatalf("fresh read missed the write (count=%d)", got.Count)
+	}
+}
+
+// TestStalenessCacheUnderChurn hammers the cached-snapshot read path while
+// writers churn the shards: bounded-staleness and fresh reads race inserts
+// and deletes, and every answer must still be a set of handles the server
+// actually issued. Run under -race via `make race`; the quiescent behavior
+// is pinned by TestStalenessCache above.
+func TestStalenessCacheUnderChurn(t *testing.T) {
+	s, err := NewDynamic("", nil, Config{Shards: 3, Dim: 2, K: testK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var mu sync.Mutex
+	issued := make(map[int64]bool)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	errc := make(chan error, 8)
+	for w := 0; w < 3; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			var mine []int64
+			for i := 0; i < 300; i++ {
+				if len(mine) > 0 && rng.Intn(4) == 0 {
+					h := mine[rng.Intn(len(mine))]
+					if _, err := s.Write(&kwsc.WriteRequest{Op: kwsc.OpDelete, Handle: h}); err != nil {
+						errc <- err
+						return
+					}
+					continue
+				}
+				resp, err := s.Write(&kwsc.WriteRequest{Op: kwsc.OpInsert,
+					Point: []float64{rng.Float64(), rng.Float64()},
+					Doc:   workload.RandKeywords(rng, 60, testK+1)})
+				if err != nil {
+					errc <- err
+					return
+				}
+				mine = append(mine, resp.Handle)
+				mu.Lock()
+				issued[resp.Handle] = true
+				mu.Unlock()
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(200 + r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := randQuery(rng)
+				if rng.Intn(2) == 0 {
+					req.MaxStalenessMs = 1 + int64(rng.Intn(20))
+				}
+				resp, err := s.Query(req, false)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !slices.IsSorted(resp.IDs) {
+					errc <- fmt.Errorf("reader %d: unsorted ids %v", r, resp.IDs)
+					return
+				}
+				mu.Lock()
+				for _, id := range resp.IDs {
+					if !issued[id] {
+						err = fmt.Errorf("reader %d: handle %d never issued", r, id)
+						break
+					}
+				}
+				mu.Unlock()
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(r)
+	}
+	// Writers run to completion with readers racing them the whole way;
+	// errc is buffered wide enough that no goroutine ever blocks on it.
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
 	}
 }

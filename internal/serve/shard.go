@@ -13,15 +13,31 @@ import (
 // ErrReadOnly reports a write against a static corpus.
 var ErrReadOnly = errors.New("serve: static corpus is read-only")
 
+// legResult is one answered scatter leg: ascending global ids plus where and
+// how fresh the answer came from. A policy stop carries the prefix-correct
+// partial ids alongside the typed error.
+type legResult struct {
+	ids []int64
+	st  kwsc.QueryStats
+	seq uint64
+	err error
+	// replica names the group member that answered ("writer", "replica-N";
+	// empty for a plain non-replicated shard).
+	replica string
+	// stalenessMs is the measured replication lag age of the answering
+	// replica (0 for authoritative legs, -1 for a never-caught-up follower).
+	stalenessMs int64
+	// stale marks an answer older than the request's staleness bound —
+	// served anyway as graceful degradation, surfaced to the client.
+	stale bool
+}
+
 // shard is one partition of the served dataset. Implementations must be
-// safe for concurrent use; collect must return ids ascending.
+// safe for concurrent use; collect must return ids ascending. req is the
+// original wire request, carried so replica groups can forward the leg to a
+// remote process; local shards answer from the parsed arguments alone.
 type shard interface {
-	// collect answers one scatter leg: objects in the bounding rect q
-	// (post-filtered by exact when non-nil) carrying all keywords, as
-	// ascending global ids. seq identifies the operation prefix a dynamic
-	// shard answered at (0 for static). A policy stop returns the
-	// prefix-correct partial ids alongside the typed error.
-	collect(q *kwsc.Rect, exact kwsc.Region, ws []kwsc.Keyword, opts kwsc.QueryOpts, staleness time.Duration) (ids []int64, st kwsc.QueryStats, seq uint64, err error)
+	collect(req *kwsc.QueryRequest, q *kwsc.Rect, exact kwsc.Region, ws []kwsc.Keyword, opts kwsc.QueryOpts, staleness time.Duration) legResult
 	insert(obj kwsc.Object) (global int64, seq uint64, err error)
 	remove(local int64) (ok bool, seq uint64, err error)
 	live() int
@@ -39,9 +55,9 @@ type staticShard struct {
 	globals []int64 // local id -> global id
 }
 
-func (s *staticShard) collect(q *kwsc.Rect, exact kwsc.Region, ws []kwsc.Keyword, opts kwsc.QueryOpts, _ time.Duration) ([]int64, kwsc.QueryStats, uint64, error) {
+func (s *staticShard) collect(_ *kwsc.QueryRequest, q *kwsc.Rect, exact kwsc.Region, ws []kwsc.Keyword, opts kwsc.QueryOpts, _ time.Duration) legResult {
 	if s.ix == nil {
-		return nil, kwsc.QueryStats{}, 0, nil
+		return legResult{}
 	}
 	local, st, err := s.ix.Collect(q, ws, opts)
 	ids := make([]int64, 0, len(local))
@@ -52,7 +68,7 @@ func (s *staticShard) collect(q *kwsc.Rect, exact kwsc.Region, ws []kwsc.Keyword
 		ids = append(ids, s.globals[id])
 	}
 	slices.Sort(ids)
-	return ids, st, 0, err
+	return legResult{ids: ids, st: st, err: err}
 }
 
 func (s *staticShard) insert(kwsc.Object) (int64, uint64, error) { return 0, 0, ErrReadOnly }
@@ -134,7 +150,7 @@ func (s *dynamicShard) view(staleness time.Duration) *kwsc.DynSnapshot {
 	return nil
 }
 
-func (s *dynamicShard) collect(q *kwsc.Rect, exact kwsc.Region, ws []kwsc.Keyword, opts kwsc.QueryOpts, staleness time.Duration) ([]int64, kwsc.QueryStats, uint64, error) {
+func (s *dynamicShard) collect(_ *kwsc.QueryRequest, q *kwsc.Rect, exact kwsc.Region, ws []kwsc.Keyword, opts kwsc.QueryOpts, staleness time.Duration) legResult {
 	var ids []int64
 	report := func(h int64, obj *kwsc.Object) {
 		if exact != nil && !exact.ContainsPoint(obj.Point) {
@@ -153,7 +169,7 @@ func (s *dynamicShard) collect(q *kwsc.Rect, exact kwsc.Region, ws []kwsc.Keywor
 		seq = s.seq()
 	}
 	slices.Sort(ids)
-	return ids, st, seq, err
+	return legResult{ids: ids, st: st, seq: seq, err: err}
 }
 
 func (s *dynamicShard) insert(obj kwsc.Object) (int64, uint64, error) {

@@ -36,6 +36,7 @@ type Durable struct {
 	seq       uint64 // sequence of the last logged record; guarded by mu
 	sinceCkpt int
 	closed    bool
+	readOnly  bool // sealed replica state: direct Insert/Delete refused
 	scratch   []byte
 }
 
@@ -166,6 +167,51 @@ func (j *journalHook) LogDelete(handle int64) error {
 func (d *Durable) Insert(obj dataset.Object) (int64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.readOnly {
+		return 0, ErrReadOnly
+	}
+	return d.insertLocked(obj)
+}
+
+// Delete removes the object with the given handle; deleting an unknown or
+// already-deleted handle returns (false, nil) without logging anything.
+func (d *Durable) Delete(handle int64) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.readOnly {
+		return false, ErrReadOnly
+	}
+	return d.deleteLocked(handle)
+}
+
+// SetReadOnly seals (or unseals) the index against direct mutation:
+// Insert/Delete return ErrReadOnly while the replay path stays open.
+// Replication followers seal their local state so embedders cannot
+// accidentally diverge a replica from its primary.
+func (d *Durable) SetReadOnly(ro bool) {
+	d.mu.Lock()
+	d.readOnly = ro
+	d.mu.Unlock()
+}
+
+// ReplayInsert applies a shipped primary record through the normal
+// log-before-ack write path, bypassing the read-only seal. It exists for
+// replication appliers only — calling it directly on a replica diverges it
+// from its primary exactly the way the seal prevents.
+func (d *Durable) ReplayInsert(obj dataset.Object) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.insertLocked(obj)
+}
+
+// ReplayDelete is ReplayInsert's delete counterpart.
+func (d *Durable) ReplayDelete(handle int64) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.deleteLocked(handle)
+}
+
+func (d *Durable) insertLocked(obj dataset.Object) (int64, error) {
 	if d.closed {
 		return 0, ErrClosed
 	}
@@ -176,11 +222,7 @@ func (d *Durable) Insert(obj dataset.Object) (int64, error) {
 	return h, d.noteOpLocked()
 }
 
-// Delete removes the object with the given handle; deleting an unknown or
-// already-deleted handle returns (false, nil) without logging anything.
-func (d *Durable) Delete(handle int64) (bool, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+func (d *Durable) deleteLocked(handle int64) (bool, error) {
 	if d.closed {
 		return false, ErrClosed
 	}

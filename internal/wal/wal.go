@@ -101,6 +101,11 @@ var ErrCorrupt = errors.New("wal: corrupt log")
 // ErrClosed reports an operation on a closed Durable index.
 var ErrClosed = errors.New("wal: index is closed")
 
+// ErrReadOnly reports a direct mutation against a sealed index — a replica's
+// local state, which only its replication applier may advance (a direct
+// write would silently diverge it from its primary's history).
+var ErrReadOnly = errors.New("wal: index is read-only (replica)")
+
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 const (

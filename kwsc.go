@@ -41,6 +41,12 @@
 //		[]float64{100, 8}, []float64{200, 10}), // price, rating ranges
 //		[]kwsc.Keyword{pool, parking}, kwsc.QueryOpts{})
 //
+// Beyond the static indexes, the package grows the paper's structures into a
+// small system: mutable indexes (NewDynamicORPKW), crash-safe durability
+// (OpenDurable), WAL-shipping read replicas with measured staleness
+// (StartReplica), out-of-core paged images (OpenPagedORPKW), and a sharded
+// replica-aware HTTP service (cmd/kwscd).
+//
 // See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 // measured reproduction of the paper's complexity claims.
 package kwsc

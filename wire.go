@@ -87,6 +87,16 @@ type ShardOutcome struct {
 	// FellBack reports that the shard's degraded executor answered via the
 	// inverted-index baseline.
 	FellBack bool `json:"fell_back,omitempty"`
+	// Replica names the replica-group member that answered this leg
+	// ("writer", "replica-N"; empty on non-replicated deployments).
+	Replica string `json:"replica,omitempty"`
+	// StalenessMs is the measured replication-lag age of the answering
+	// replica in milliseconds (0 for authoritative legs; -1 for a follower
+	// that has never been provably caught up).
+	StalenessMs int64 `json:"staleness_ms,omitempty"`
+	// Stale reports the leg was answered beyond the request's
+	// max_staleness_ms bound — graceful degradation, not silent lying.
+	Stale bool `json:"stale,omitempty"`
 }
 
 // QueryResponse is the body of a successful POST /v1/query.
@@ -102,6 +112,9 @@ type QueryResponse struct {
 	// Degraded reports the server answered in degraded mode (load shed into
 	// the fallback path, or a shard fell back to its baseline).
 	Degraded bool `json:"degraded,omitempty"`
+	// Stale reports that at least one shard answered beyond the request's
+	// max_staleness_ms bound (see ShardOutcome.Stale for which).
+	Stale bool `json:"stale,omitempty"`
 	// ElapsedUs is the server-side wall time of the scatter-gather.
 	ElapsedUs int64 `json:"elapsed_us"`
 	// Shards reports per-shard outcomes, ascending by shard.
